@@ -1,0 +1,52 @@
+//! Experiments E8/E9 (slides 22–23): end-to-end campaign throughput.
+//!
+//! Full paper-scale months are example territory (`examples/longitudinal`);
+//! here we measure the cost of campaign days so regressions in the
+//! orchestration loop show up.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_core::scenario::scheduling_scenario;
+use ttt_core::{Campaign, CampaignConfig, SchedulingMode};
+use ttt_sim::SimDuration;
+
+fn bench_small_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/small");
+    group.sample_size(10);
+    group.bench_function("small_testbed_10_days", |b| {
+        b.iter_batched(
+            || CampaignConfig::small(42),
+            |cfg| {
+                let mut campaign = Campaign::new(cfg);
+                campaign.run();
+                black_box(campaign.metrics().tests_run)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_paper_scale_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/paper_scale");
+    group.sample_size(10);
+    group.bench_function("one_day", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = scheduling_scenario(42, SchedulingMode::External);
+                cfg.duration = SimDuration::from_days(1);
+                cfg
+            },
+            |cfg| {
+                let mut campaign = Campaign::new(cfg);
+                campaign.run();
+                black_box(campaign.metrics().tests_run)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_campaign, bench_paper_scale_day);
+criterion_main!(benches);

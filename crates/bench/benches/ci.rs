@@ -1,0 +1,64 @@
+//! Experiment E4 (slide 15): the Jenkins matrix — "14 images × 32 clusters
+//! = 448 configurations" — plus queue/executor throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_ci::{expand_axes, Axis, BuildResult, Cause, CiServer, JobKind, JobSpec};
+
+fn paper_axes() -> Vec<Axis> {
+    let images: Vec<String> = (0..14).map(|i| format!("img{i}")).collect();
+    let clusters: Vec<String> = (0..32).map(|i| format!("cluster{i}")).collect();
+    vec![Axis::new("image", images), Axis::new("cluster", clusters)]
+}
+
+fn bench_matrix_expansion(c: &mut Criterion) {
+    let axes = paper_axes();
+    c.bench_function("ci/expand_14x32_matrix", |b| {
+        b.iter(|| {
+            let cells = expand_axes(&axes);
+            assert_eq!(cells.len(), 448);
+            black_box(cells)
+        })
+    });
+    eprintln!(
+        "[shape] matrix expansion: {} cells (paper: 448)",
+        expand_axes(&axes).len()
+    );
+}
+
+fn bench_build_cycle(c: &mut Criterion) {
+    c.bench_function("ci/trigger_assign_finish_448_cells", |b| {
+        b.iter_batched(
+            || {
+                let mut s = CiServer::new(16);
+                s.register(JobSpec {
+                    name: "environments".into(),
+                    kind: JobKind::Matrix { axes: paper_axes() },
+                    trigger: None,
+                });
+                s
+            },
+            |mut s| {
+                let refs = s.trigger("environments", Cause::Manual);
+                assert_eq!(refs.len(), 448);
+                let mut done = 0;
+                loop {
+                    let work = s.assign();
+                    if work.is_empty() {
+                        break;
+                    }
+                    for w in work {
+                        s.finish(&w.build, BuildResult::Success, vec![]);
+                        done += 1;
+                    }
+                }
+                assert_eq!(done, 448);
+                black_box(s.history("environments").len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_matrix_expansion, bench_build_cycle);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment E5 (slides 16–17): external-scheduler decision throughput
+//! with the full 751-entry list against the paper-scale testbed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_bench::setup::paper_world;
+use ttt_ci::{CiServer, JobKind, JobSpec};
+use ttt_jobsched::{ExternalScheduler, PolicyConfig, TestEntry};
+use ttt_oar::OarServer;
+use ttt_sim::rng::stream_rng;
+use ttt_sim::SimTime;
+use ttt_suite::build_suite;
+
+fn entries() -> (OarServer, CiServer, Vec<TestEntry>) {
+    let (tb, desc, images) = paper_world();
+    let oar = OarServer::new(&tb, &desc);
+    let mut ci = CiServer::new(16);
+    let suite = build_suite(&tb, &images);
+    for family in ttt_suite::Family::ALL {
+        ci.register(JobSpec {
+            name: family.job_name().to_string(),
+            kind: JobKind::Freestyle,
+            trigger: None,
+        });
+    }
+    let entries: Vec<TestEntry> = suite
+        .iter()
+        .map(|cfg| TestEntry {
+            id: cfg.id(),
+            ci_job: cfg.family.job_name().to_string(),
+            cell: cfg.cell(),
+            site: cfg.site(&tb),
+            request: cfg.resource_request(&tb),
+            hardware_centric: cfg.family.hardware_centric(),
+            period: cfg.family.period(),
+        })
+        .collect();
+    assert_eq!(entries.len(), 751, "slide 21 coverage");
+    (oar, ci, entries)
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let (oar, ci, entries) = entries();
+    eprintln!("[shape] scheduler entry list: {} configurations (paper: 751)", entries.len());
+    c.bench_function("jobsched/first_tick_751_entries", |b| {
+        b.iter_batched(
+            || {
+                (
+                    ExternalScheduler::new(PolicyConfig::default(), entries.clone()),
+                    ci_clone(&ci),
+                    stream_rng(5, "bench-sched"),
+                )
+            },
+            |(mut sched, mut ci, mut rng)| {
+                // 03:00 Monday: off-peak, empty testbed — everything either
+                // triggers or defers on the same-site cap.
+                let decisions = sched.tick(SimTime::from_hours(3), &mut ci, &oar, &mut rng);
+                black_box(decisions.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// CiServer is deliberately not Clone (histories can be huge); rebuild.
+fn ci_clone(_template: &CiServer) -> CiServer {
+    let mut ci = CiServer::new(16);
+    for family in ttt_suite::Family::ALL {
+        ci.register(JobSpec {
+            name: family.job_name().to_string(),
+            kind: JobKind::Freestyle,
+            trigger: None,
+        });
+    }
+    ci
+}
+
+criterion_group!(benches, bench_tick);
+criterion_main!(benches);

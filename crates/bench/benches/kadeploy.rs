@@ -1,0 +1,49 @@
+//! Experiment E2 (slide 8): deployment scalability, "200 nodes in ~5 min".
+//!
+//! Measures simulated-deployment cost at several node counts and asserts
+//! the modelled makespan shape once per bench run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ttt_bench::setup::paper_world;
+use ttt_kadeploy::Deployer;
+use ttt_sim::rng::stream_rng;
+use ttt_testbed::NodeId;
+
+fn bench_deploy_scaling(c: &mut Criterion) {
+    let (tb, _, images) = paper_world();
+    let env = images.iter().find(|e| e.name == "debian9-base").unwrap();
+    let mut pool: Vec<NodeId> = tb.cluster_by_name("graphene").unwrap().nodes.clone();
+    pool.extend(tb.cluster_by_name("griffon").unwrap().nodes.iter().copied());
+
+    let mut group = c.benchmark_group("kadeploy/deploy");
+    for &n in &[50usize, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || (tb.clone(), stream_rng(7, "bench-deploy")),
+                |(mut tb, mut rng)| {
+                    let report =
+                        Deployer::default().deploy(&mut tb, env, &pool[..n], &mut rng);
+                    black_box(report.makespan)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Shape assertion (printed once): 200 clean nodes land near 5 minutes.
+    let mut tb2 = tb.clone();
+    let mut rng = stream_rng(7, "bench-deploy-shape");
+    let clean = Deployer::new(ttt_kadeploy::DeployConfig {
+        step_fail_prob: 0.0,
+        ..Default::default()
+    });
+    let report = clean.deploy(&mut tb2, env, &pool[..200], &mut rng);
+    let mins = report.makespan.as_mins_f64();
+    assert!((3.0..7.0).contains(&mins), "200-node makespan {mins:.1} min");
+    eprintln!("[shape] 200-node clean deployment: {mins:.1} min (paper: ~5)");
+}
+
+criterion_group!(benches, bench_deploy_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! The OAR substrate: request-language parsing and scheduling throughput
+//! (supports experiments E5, E8 and E9, which all ride on the scheduler).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_bench::setup::paper_world;
+use ttt_oar::{parse_request, Expr, JobKind, OarServer, Queue, ResourceRequest};
+use ttt_sim::SimDuration;
+
+const PAPER_REQUEST: &str =
+    "cluster='a' and gpu='YES'/nodes=1+cluster='b' and eth10g='Y'/nodes=2,walltime=2";
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("oar/parse_paper_request", |b| {
+        b.iter(|| black_box(parse_request(PAPER_REQUEST, SimDuration::from_hours(1)).unwrap()))
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let (tb, desc, _) = paper_world();
+
+    c.bench_function("oar/submit_100_jobs_paper_testbed", |b| {
+        b.iter_batched(
+            || OarServer::new(&tb, &desc),
+            |mut server| {
+                for i in 0..100u32 {
+                    let req = ResourceRequest::nodes(
+                        Expr::True,
+                        (i % 8) + 1,
+                        SimDuration::from_hours(1),
+                    );
+                    server
+                        .submit("bench", Queue::Default, JobKind::User, req)
+                        .unwrap();
+                }
+                black_box(server.busy_nodes())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("oar/immediate_assignment_whole_cluster", |b| {
+        let server = OarServer::new(&tb, &desc);
+        let req = ResourceRequest::all_nodes(
+            Expr::eq("cluster", "graphene"),
+            SimDuration::from_hours(2),
+        );
+        b.iter(|| black_box(server.immediate_assignment(&req)))
+    });
+}
+
+criterion_group!(benches, bench_parser, bench_scheduling);
+criterion_main!(benches);

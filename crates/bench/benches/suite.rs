@@ -1,0 +1,99 @@
+//! Experiment E7 (slide 21): the 751-configuration suite — generation cost
+//! and representative per-family execution cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_bench::setup::{paper_refapi, paper_world};
+use ttt_kadeploy::Deployer;
+use ttt_kavlan::KavlanManager;
+use ttt_kwapi::MetricStore;
+use ttt_oar::OarServer;
+use ttt_sim::rng::stream_rng;
+use ttt_sim::{SimDuration, SimTime};
+use ttt_suite::{build_suite, family_counts, run_test, Family, Target, TestConfig, TestCtx};
+
+fn bench_generation(c: &mut Criterion) {
+    let (tb, _, images) = paper_world();
+    c.bench_function("suite/build_751_configurations", |b| {
+        b.iter(|| {
+            let suite = build_suite(&tb, &images);
+            assert_eq!(suite.len(), 751);
+            black_box(suite)
+        })
+    });
+    let suite = build_suite(&tb, &images);
+    eprintln!("[shape] suite size: {} (paper: 751); per family:", suite.len());
+    for (family, count) in family_counts(&suite) {
+        eprintln!("[shape]   {family:<15} {count}");
+    }
+}
+
+fn bench_families(c: &mut Criterion) {
+    let (tb, _, images) = paper_world();
+    let refapi = paper_refapi(&tb);
+    let desc = refapi.latest().unwrap().clone();
+    let oar = OarServer::new(&tb, &desc);
+    let cluster = tb.cluster_by_name("grisou").unwrap();
+    let one_node = vec![cluster.nodes[0]];
+    let all_nodes = cluster.nodes.clone();
+
+    let mut group = c.benchmark_group("suite/family");
+    for (name, family, target, assigned) in [
+        (
+            "refapi_sweep",
+            Family::Refapi,
+            Target::Cluster("grisou".into()),
+            one_node.clone(),
+        ),
+        (
+            "disk_whole_cluster",
+            Family::Disk,
+            Target::Cluster("grisou".into()),
+            all_nodes.clone(),
+        ),
+        (
+            "environments_one_cell",
+            Family::Environments,
+            Target::ImageCluster {
+                image: "debian9-min".into(),
+                cluster: "grisou".into(),
+            },
+            one_node.clone(),
+        ),
+    ] {
+        let cfg = TestConfig { family, target };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    (
+                        tb.clone(),
+                        KavlanManager::new(),
+                        MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(1)),
+                        stream_rng(6, "bench-suite"),
+                    )
+                },
+                |(mut tbx, mut kavlan, mut kwapi, mut rng)| {
+                    let deployer = Deployer::default();
+                    let mut ctx = TestCtx {
+                        tb: &mut tbx,
+                        refapi: &refapi,
+                        oar: &oar,
+                        kavlan: &mut kavlan,
+                        kwapi: &mut kwapi,
+                        deployer: &deployer,
+                        images: &images,
+                        assigned: &assigned,
+                        now: SimTime::from_hours(3),
+                        rng: &mut rng,
+                    };
+                    black_box(run_test(&cfg, &mut ctx))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E1 (slide 6): the testbed substrate itself.
+//!
+//! Verifies the generator emits the paper's scale and measures the cost of
+//! generation, fault application/repair, and one g5k-checks node pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ttt_bench::setup::paper_world;
+use ttt_nodecheck::check_node;
+use ttt_sim::SimTime;
+use ttt_testbed::{FaultKind, FaultTarget, TestbedBuilder};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("testbed/generate_paper_scale", |b| {
+        b.iter(|| {
+            let tb = TestbedBuilder::paper_scale().build();
+            assert_eq!(tb.nodes().len(), 894);
+            assert_eq!(tb.total_cores(), 8490);
+            black_box(tb)
+        })
+    });
+}
+
+fn bench_fault_cycle(c: &mut Criterion) {
+    let (tb, _, _) = paper_world();
+    c.bench_function("testbed/fault_apply_repair", |b| {
+        b.iter_batched(
+            || tb.clone(),
+            |mut tb| {
+                let n = tb.clusters()[0].nodes[0];
+                let f = tb
+                    .apply_fault(FaultKind::CpuCStatesDrift, FaultTarget::Node(n), SimTime::ZERO)
+                    .unwrap();
+                tb.repair(f.id);
+                black_box(tb.active_faults().len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_nodecheck(c: &mut Criterion) {
+    let (tb, desc, _) = paper_world();
+    let node = tb.cluster_by_name("grisou").unwrap().nodes[0];
+    c.bench_function("testbed/g5k_checks_single_node", |b| {
+        b.iter(|| black_box(check_node(&tb, &desc, node)))
+    });
+    c.bench_function("testbed/g5k_checks_full_sweep_894_nodes", |b| {
+        b.iter(|| {
+            let mut mismatches = 0usize;
+            for n in tb.nodes() {
+                mismatches += check_node(&tb, &desc, n.id).mismatches.len();
+            }
+            black_box(mismatches)
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_fault_cycle, bench_nodecheck);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # ttt-bench — benchmark harness
+//!
+//! One Criterion bench per paper experiment; the mapping lives in
+//! DESIGN.md §5. The benches measure this *implementation* (simulation
+//! throughput), while the paper-shaped outputs (tables/series) come from
+//! the `examples/` binaries — EXPERIMENTS.md records both.
+
+/// Re-exported so benches share one place for common setup.
+pub mod setup {
+    use ttt_kadeploy::{standard_images, Environment};
+    use ttt_refapi::{describe, RefApi, TestbedDescription};
+    use ttt_sim::SimTime;
+    use ttt_testbed::{Testbed, TestbedBuilder};
+
+    /// The paper-scale testbed plus its published description.
+    pub fn paper_world() -> (Testbed, TestbedDescription, Vec<Environment>) {
+        let tb = TestbedBuilder::paper_scale().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        (tb, desc, standard_images())
+    }
+
+    /// A published Reference API archive for the paper-scale testbed.
+    pub fn paper_refapi(tb: &Testbed) -> RefApi {
+        let mut api = RefApi::new();
+        api.publish_from(tb, SimTime::ZERO);
+        api
+    }
+}

@@ -1,0 +1,17 @@
+//! # ttt-bugs — bug filing and the operator loop
+//!
+//! Slide 11 observes that ordinary users rarely report bugs, so the
+//! framework itself must turn failing tests into actionable reports; slide
+//! 22 counts the result: "118 bugs filed (inc. 84 already fixed)".
+//!
+//! * [`tracker`] — deduplicates diagnostics by stable signature into bugs,
+//!   tracks open/fixed state and recurrence;
+//! * [`operator`] — testbed operators fix open bugs at a bounded weekly
+//!   rate, oldest first (the gap between "filed" and "fixed" in the paper
+//!   is exactly this bounded capacity).
+
+pub mod operator;
+pub mod tracker;
+
+pub use operator::OperatorModel;
+pub use tracker::{Bug, BugId, BugState, BugTracker};

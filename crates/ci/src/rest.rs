@@ -1,0 +1,112 @@
+//! REST-like serializable views, mirroring Jenkins' `/api/json`.
+//!
+//! Slide 18: the status page is "an external status page that uses
+//! Jenkins' REST API" — it consumes these views, never the server's
+//! internals.
+
+use crate::model::{Build, BuildResult, Cause};
+use crate::server::CiServer;
+use serde::{Deserialize, Serialize};
+use ttt_sim::SimTime;
+
+/// View of one build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildView {
+    /// Build number.
+    pub number: u32,
+    /// Matrix cell key, if any.
+    pub cell: Option<String>,
+    /// Trigger cause.
+    pub cause: Cause,
+    /// Final result (None while queued/running).
+    pub result: Option<BuildResult>,
+    /// Queue entry time.
+    pub queued_at: SimTime,
+    /// Completion time, if finished.
+    pub finished_at: Option<SimTime>,
+    /// Log lines.
+    pub log: Vec<String>,
+}
+
+impl From<&Build> for BuildView {
+    fn from(b: &Build) -> Self {
+        BuildView {
+            number: b.r#ref.number,
+            cell: b.r#ref.cell.clone(),
+            cause: b.cause,
+            result: b.result,
+            queued_at: b.queued_at,
+            finished_at: b.finished_at,
+            log: b.log.clone(),
+        }
+    }
+}
+
+/// View of one job with its whole history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// Job name.
+    pub name: String,
+    /// Builds in creation order.
+    pub builds: Vec<BuildView>,
+}
+
+impl JobView {
+    /// Extract the view of one job from the server.
+    pub fn from_server(server: &CiServer, job: &str) -> JobView {
+        JobView {
+            name: job.to_string(),
+            builds: server.history(job).iter().map(BuildView::from).collect(),
+        }
+    }
+
+    /// Extract every job's view (the full API dump).
+    pub fn all_from_server(server: &CiServer) -> Vec<JobView> {
+        server
+            .all_history()
+            .keys()
+            .map(|j| JobView::from_server(server, j))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobKind, JobSpec};
+
+    #[test]
+    fn views_serialize_to_json() {
+        let mut s = CiServer::new(1);
+        s.register(JobSpec {
+            name: "disk".into(),
+            kind: JobKind::Freestyle,
+            trigger: None,
+        });
+        s.trigger("disk", Cause::Manual);
+        let w = s.assign();
+        s.finish(&w[0].build, BuildResult::Failure, vec!["write cache off".into()]);
+        let view = JobView::from_server(&s, "disk");
+        let json = serde_json::to_string(&view).unwrap();
+        let back: JobView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, view);
+        assert_eq!(back.builds.len(), 1);
+        assert_eq!(back.builds[0].result, Some(BuildResult::Failure));
+        assert_eq!(back.builds[0].log, vec!["write cache off".to_string()]);
+    }
+
+    #[test]
+    fn all_jobs_dump() {
+        let mut s = CiServer::new(1);
+        for name in ["a", "b", "c"] {
+            s.register(JobSpec {
+                name: name.into(),
+                kind: JobKind::Freestyle,
+                trigger: None,
+            });
+        }
+        let views = JobView::all_from_server(&s);
+        assert_eq!(views.len(), 3);
+        assert!(views.iter().all(|v| v.builds.is_empty()));
+    }
+}

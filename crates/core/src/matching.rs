@@ -1,0 +1,150 @@
+//! Bug → fault matching: when operators fix a filed bug, locate the
+//! underlying injected fault so the repair actually changes the testbed.
+//!
+//! Diagnostics carry signatures that are either exactly a fault signature
+//! (configuration drift, services) or a behavioural symptom on a named
+//! node (`deploy-failure@grisou-3`) that several fault kinds can cause.
+
+use ttt_testbed::{Fault, FaultKind, FaultTarget, Testbed};
+
+/// The fault kinds that can cause a given diagnostic-signature prefix.
+fn candidate_kinds(prefix: &str) -> &'static [FaultKind] {
+    match prefix {
+        "cpu-cstates" => &[FaultKind::CpuCStatesDrift],
+        "cpu-turbo" => &[FaultKind::TurboDrift],
+        "cpu-ht" => &[FaultKind::HyperthreadingDrift],
+        "disk-firmware" => &[FaultKind::DiskFirmwareDrift],
+        "disk-write-cache" => &[FaultKind::DiskWriteCacheDrift],
+        "dimm-failure" => &[FaultKind::DimmFailure],
+        "nic-downgrade" => &[FaultKind::NicDowngrade],
+        "bios-version" => &[FaultKind::BiosVersionDrift],
+        "node-dead" => &[FaultKind::NodeDead],
+        "console-dead" => &[FaultKind::ConsoleDead],
+        "vlan-port-stuck" => &[FaultKind::VlanPortStuck],
+        "ofed-flaky" => &[FaultKind::OfedFlaky],
+        "cabling-swap" => &[FaultKind::CablingSwap],
+        "boot-delay" => &[FaultKind::KernelBootRace],
+        "boot-failure" => &[FaultKind::RandomReboots],
+        // A deployment can fail because the node is dead, spontaneously
+        // rebooting, or racing at boot.
+        "deploy-failure" => &[
+            FaultKind::NodeDead,
+            FaultKind::RandomReboots,
+            FaultKind::KernelBootRace,
+        ],
+        // A flaky service can fail every probe call in one run (looks
+        // down) and a down service is a special case of flaky — match both
+        // so an unlucky sample still repairs the right fault.
+        "service-flaky" => &[FaultKind::ServiceFlaky, FaultKind::ServiceDown],
+        "service-down" => &[FaultKind::ServiceDown, FaultKind::ServiceFlaky],
+        _ => &[],
+    }
+}
+
+/// Find the active fault a bug signature points at, if any.
+///
+/// Exact signature matches win; otherwise the signature's `prefix@target`
+/// is parsed and matched against active faults by kind and node name.
+pub fn find_fault(tb: &Testbed, bug_signature: &str) -> Option<Fault> {
+    // Exact match first (covers services and most drift).
+    if let Some(f) = tb
+        .active_faults()
+        .iter()
+        .find(|f| f.signature() == bug_signature)
+    {
+        return Some(f.clone());
+    }
+    let (prefix, target) = bug_signature.split_once('@')?;
+    let kinds = candidate_kinds(prefix);
+    if kinds.is_empty() {
+        return None;
+    }
+    // Node targets match by id; service targets (and anything else) match
+    // by the fault signature's own `@target` suffix, which is identical
+    // for the flaky/down pair on the same service.
+    let node = tb.node_by_name(target).map(|n| n.id);
+    let suffix = format!("@{target}");
+    tb.active_faults()
+        .iter()
+        .find(|f| {
+            kinds.contains(&f.kind)
+                && match (f.target, node) {
+                    (FaultTarget::Node(n), Some(id)) => n == id,
+                    (FaultTarget::NodePair(a, b), Some(id)) => a == id || b == id,
+                    (FaultTarget::Service(..), _) => f.signature().ends_with(&suffix),
+                    _ => false,
+                }
+        })
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttt_sim::SimTime;
+    use ttt_testbed::TestbedBuilder;
+
+    #[test]
+    fn exact_signature_match() {
+        let mut tb = TestbedBuilder::small().build();
+        let n = tb.clusters()[0].nodes[0];
+        let f = tb
+            .apply_fault(FaultKind::CpuCStatesDrift, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        let name = tb.node(n).name.clone();
+        let found = find_fault(&tb, &format!("cpu-cstates@{name}")).unwrap();
+        assert_eq!(found.id, f.id);
+    }
+
+    #[test]
+    fn behavioural_signature_matches_by_node() {
+        let mut tb = TestbedBuilder::small().build();
+        let n = tb.clusters()[0].nodes[1];
+        let f = tb
+            .apply_fault(FaultKind::RandomReboots, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        let name = tb.node(n).name.clone();
+        let found = find_fault(&tb, &format!("deploy-failure@{name}")).unwrap();
+        assert_eq!(found.id, f.id);
+        let found = find_fault(&tb, &format!("boot-failure@{name}")).unwrap();
+        assert_eq!(found.id, f.id);
+    }
+
+    #[test]
+    fn cabling_swap_matches_either_node() {
+        let mut tb = TestbedBuilder::small().build();
+        let c = &tb.clusters()[0];
+        let (a, b) = (c.nodes[0], c.nodes[1]);
+        let f = tb
+            .apply_fault(FaultKind::CablingSwap, FaultTarget::NodePair(a, b), SimTime::ZERO)
+            .unwrap();
+        for n in [a, b] {
+            let name = tb.node(n).name.clone();
+            let found = find_fault(&tb, &format!("cabling-swap@{name}")).unwrap();
+            assert_eq!(found.id, f.id);
+        }
+    }
+
+    #[test]
+    fn service_signature_exact_match() {
+        let mut tb = TestbedBuilder::small().build();
+        let site = tb.sites()[0].id;
+        let f = tb
+            .apply_fault(
+                FaultKind::ServiceFlaky,
+                FaultTarget::Service(site, ttt_testbed::ServiceKind::OarServer),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let found = find_fault(&tb, &f.signature()).unwrap();
+        assert_eq!(found.id, f.id);
+    }
+
+    #[test]
+    fn unknown_signatures_match_nothing() {
+        let tb = TestbedBuilder::small().build();
+        assert!(find_fault(&tb, "nonsense").is_none());
+        assert!(find_fault(&tb, "cpu-cstates@alpha-1").is_none());
+        assert!(find_fault(&tb, "boot-delay@unknown-node").is_none());
+    }
+}

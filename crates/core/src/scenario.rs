@@ -1,0 +1,92 @@
+//! Scenario presets for the paper's experiments.
+
+use crate::config::{CampaignConfig, Rollout, SchedulingMode, TestbedScale};
+use ttt_jobsched::PolicyConfig;
+use ttt_oar::userload::UserLoadConfig;
+use ttt_sim::SimDuration;
+use ttt_testbed::InjectorConfig;
+
+/// The longitudinal paper scenario (experiments E8/E9): paper-scale
+/// testbed, six months, staged family rollout, fault rates and operator
+/// capacity calibrated so the campaign lands in the neighbourhood of the
+/// paper's "118 bugs filed (inc. 84 already fixed)" and "85 % → 93 %"
+/// success-rate trend.
+pub fn paper_scenario(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        scale: TestbedScale::Paper,
+        duration: SimDuration::from_days(180),
+        tick: SimDuration::from_mins(15),
+        executors: 16,
+        injector: InjectorConfig::default().scaled(0.38),
+        initial_fault_burden: 45,
+        user_load: UserLoadConfig {
+            peak_jobs_per_day: 250.0,
+            cluster_affinity: 0.6,
+            whole_cluster_prob: 0.10,
+        },
+        policy: PolicyConfig::default(),
+        mode: SchedulingMode::External,
+        operator_capacity_per_week: 3.3,
+        operator_triage: SimDuration::from_days(2),
+        rollout: Rollout::staged(),
+        per_node_hardware: false,
+    }
+}
+
+/// The scheduling-policy comparison scenario (experiment E5): one month,
+/// all families active from the start, heavy user load. Run once with
+/// [`SchedulingMode::External`] and once with [`SchedulingMode::NaiveCron`]
+/// and compare executor occupancy, user-job delay and time-to-result.
+pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        scale: TestbedScale::Paper,
+        duration: SimDuration::from_days(30),
+        tick: SimDuration::from_mins(15),
+        executors: 16,
+        injector: InjectorConfig::default().scaled(0.2),
+        initial_fault_burden: 10,
+        user_load: UserLoadConfig {
+            peak_jobs_per_day: 150.0,
+            cluster_affinity: 0.6,
+            whole_cluster_prob: 0.08,
+        },
+        policy: PolicyConfig::default(),
+        mode,
+        operator_capacity_per_week: 4.0,
+        operator_triage: SimDuration::from_days(2),
+        rollout: Rollout::all_at_start(),
+        per_node_hardware: false,
+    }
+}
+
+/// The no-testing baseline: same world as [`paper_scenario`] but no test
+/// family ever activates, so faults accumulate silently — the situation
+/// slides 10–13 motivate the framework with.
+pub fn no_testing_scenario(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        rollout: Rollout { phases: vec![] },
+        ..paper_scenario(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let p = paper_scenario(1);
+        assert_eq!(p.scale, TestbedScale::Paper);
+        assert_eq!(p.duration, SimDuration::from_days(180));
+        assert_eq!(p.rollout.phases.len(), 4);
+
+        let s = scheduling_scenario(1, SchedulingMode::External);
+        assert_eq!(s.rollout.phases.len(), 1);
+
+        let n = no_testing_scenario(1);
+        assert!(n.rollout.phases.is_empty());
+        assert_eq!(n.initial_fault_burden, p.initial_fault_burden);
+    }
+}

@@ -1,0 +1,124 @@
+//! Kameleon: recipe-built images for traceability.
+//!
+//! Slide 8: "Images generated using Kameleon for traceability". A recipe is
+//! an ordered list of steps; building it yields an [`Environment`] whose
+//! `content_hash` is a deterministic function of the recipe, so rebuilding
+//! an unchanged recipe provably yields the same image — that is the
+//! traceability property experiments rely on.
+
+use crate::env::{EnvKind, Environment};
+use serde::{Deserialize, Serialize};
+
+/// One build step of a recipe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// Step name, e.g. `"install-openmpi"`.
+    pub name: String,
+    /// Payload the step adds to the image, MB.
+    pub payload_mb: u32,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn new(name: &str, payload_mb: u32) -> Self {
+        Step {
+            name: name.to_string(),
+            payload_mb,
+        }
+    }
+}
+
+/// A Kameleon recipe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Recipe (and resulting image) name.
+    pub name: String,
+    /// Operating system of the base system.
+    pub os: String,
+    /// Image flavour the recipe produces.
+    pub kind: EnvKind,
+    /// Base image size before steps, MB.
+    pub base_size_mb: u32,
+    /// Kernel the image will boot.
+    pub kernel: String,
+    /// Ordered build steps.
+    pub steps: Vec<Step>,
+}
+
+impl Recipe {
+    /// Build the recipe into an environment. Deterministic: the content
+    /// hash covers every field that affects the produced image.
+    pub fn build(&self) -> Environment {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.name.as_bytes());
+        mix(self.os.as_bytes());
+        mix(self.kernel.as_bytes());
+        mix(&self.base_size_mb.to_le_bytes());
+        for s in &self.steps {
+            mix(s.name.as_bytes());
+            mix(&s.payload_mb.to_le_bytes());
+        }
+        let size = self.base_size_mb + self.steps.iter().map(|s| s.payload_mb).sum::<u32>();
+        Environment {
+            name: self.name.clone(),
+            os: self.os.clone(),
+            kind: self.kind,
+            size_mb: size,
+            kernel: self.kernel.clone(),
+            content_hash: hash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recipe() -> Recipe {
+        Recipe {
+            name: "debian9-hpc".into(),
+            os: "debian9".into(),
+            kind: EnvKind::Big,
+            base_size_mb: 700,
+            kernel: "4.9.0-3".into(),
+            steps: vec![
+                Step::new("install-openmpi", 120),
+                Step::new("install-cuda", 900),
+            ],
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = recipe().build();
+        let b = recipe().build();
+        assert_eq!(a, b);
+        assert_ne!(a.content_hash, 0);
+    }
+
+    #[test]
+    fn size_accumulates_steps() {
+        let e = recipe().build();
+        assert_eq!(e.size_mb, 700 + 120 + 900);
+    }
+
+    #[test]
+    fn any_change_changes_the_hash() {
+        let base = recipe().build();
+        let mut r = recipe();
+        r.steps[0].payload_mb += 1;
+        assert_ne!(r.build().content_hash, base.content_hash);
+        let mut r = recipe();
+        r.kernel = "4.9.0-4".into();
+        assert_ne!(r.build().content_hash, base.content_hash);
+        let mut r = recipe();
+        r.steps.swap(0, 1);
+        assert_ne!(r.build().content_hash, base.content_hash, "step order matters");
+    }
+}

@@ -1,0 +1,20 @@
+//! # ttt-kavlan — network reconfiguration and isolation
+//!
+//! Reproduces KaVLAN (slide 8): users move their nodes into isolated VLANs
+//! to "protect the testbed from experiments" and "avoid network pollution",
+//! with four VLAN types straight from the paper's figure:
+//!
+//! * **default** — routed between sites, where every node starts;
+//! * **local** — isolated level-2 island, reachable only through an SSH
+//!   gateway;
+//! * **routed** — separate level-2 network, reachable through routing;
+//! * **global** — one level-2 network spanning all sites.
+//!
+//! Reconfiguration happens per switch port. A `VlanPortStuck` fault makes a
+//! port silently keep its old VLAN — the service reports success but
+//! isolation is broken, which is exactly what the `kavlan` test family
+//! detects by probing reachability in both directions.
+
+pub mod manager;
+
+pub use manager::{KavlanManager, Vlan, VlanId, VlanKind, DEFAULT_VLAN};

@@ -1,0 +1,151 @@
+//! Hardware probes: flatten a node's hardware into OHAI-style key paths.
+
+use std::collections::BTreeMap;
+use ttt_refapi::NodeDescription;
+use ttt_testbed::{NodeHardware, NodeId, Testbed};
+
+/// A flat probe report: OHAI-like key paths to rendered values, e.g.
+/// `"cpu/cstates" → "enabled"`, `"disk/sda/firmware" → "GA67"`.
+pub type ProbeReport = BTreeMap<String, String>;
+
+/// Flatten a hardware description into probe keys.
+fn flatten(hw: &NodeHardware, memory_gb: u32) -> ProbeReport {
+    let mut m = ProbeReport::new();
+    m.insert("cpu/model".into(), hw.cpu.model.clone());
+    m.insert("cpu/microarch".into(), hw.cpu.microarch.clone());
+    m.insert("cpu/sockets".into(), hw.cpu.sockets.to_string());
+    m.insert("cpu/cores".into(), hw.cpu.total_cores().to_string());
+    m.insert("cpu/threads".into(), hw.cpu.total_threads().to_string());
+    m.insert("cpu/freq_mhz".into(), hw.cpu.base_freq_mhz.to_string());
+    m.insert(
+        "cpu/turbo".into(),
+        onoff(hw.cpu.turbo_enabled).to_string(),
+    );
+    m.insert("cpu/ht".into(), onoff(hw.cpu.ht_enabled).to_string());
+    m.insert(
+        "cpu/cstates".into(),
+        onoff(hw.cpu.cstates_enabled).to_string(),
+    );
+    m.insert("memory/total_gb".into(), memory_gb.to_string());
+    m.insert("memory/dimms".into(), hw.mem.dimms.len().to_string());
+    for d in &hw.disks {
+        let p = format!("disk/{}", d.device);
+        m.insert(format!("{p}/vendor"), d.vendor.clone());
+        m.insert(format!("{p}/model"), d.model.clone());
+        m.insert(format!("{p}/firmware"), d.firmware.clone());
+        m.insert(format!("{p}/size_gb"), d.size_gb.to_string());
+        m.insert(format!("{p}/write_cache"), onoff(d.write_cache).to_string());
+        m.insert(format!("{p}/read_cache"), onoff(d.read_cache).to_string());
+    }
+    for n in &hw.nics {
+        let p = format!("network/{}", n.name);
+        m.insert(format!("{p}/model"), n.model.clone());
+        m.insert(format!("{p}/driver"), n.driver.clone());
+        m.insert(format!("{p}/firmware"), n.firmware.clone());
+        m.insert(format!("{p}/rate_gbps"), n.rate_gbps.to_string());
+        m.insert(format!("{p}/mounted"), onoff(n.mounted).to_string());
+    }
+    m.insert("bios/vendor".into(), hw.bios.vendor.to_string());
+    m.insert("bios/version".into(), hw.bios.version.clone());
+    for (k, v) in &hw.bios.settings {
+        m.insert(format!("bios/setting/{k}"), v.clone());
+    }
+    if let Some(ib) = &hw.ib {
+        m.insert("infiniband/hca".into(), ib.hca.clone());
+        m.insert("infiniband/rate_gbps".into(), ib.rate_gbps.to_string());
+    }
+    if let Some(gpu) = &hw.gpu {
+        m.insert("gpu/model".into(), gpu.model.clone());
+        m.insert("gpu/count".into(), gpu.count.to_string());
+    }
+    m
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "enabled"
+    } else {
+        "disabled"
+    }
+}
+
+/// Probe the *actual* hardware of a node (what OHAI/ethtool/hdparm would
+/// report on the real machine). Returns `None` when the node does not
+/// answer (dead hardware).
+pub fn probe_node(tb: &Testbed, node: NodeId) -> Option<ProbeReport> {
+    let n = tb.node(node);
+    if !n.condition.alive {
+        return None;
+    }
+    // Failed DIMMs are masked by the BIOS: the OS sees less memory.
+    Some(flatten(&n.hardware, n.effective_memory_gb()))
+}
+
+/// The report a node *should* produce, derived from its Reference API
+/// description.
+pub fn expected_report(desc: &NodeDescription) -> ProbeReport {
+    flatten(&desc.hardware, desc.hardware.memory_gb())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttt_refapi::describe;
+    use ttt_sim::SimTime;
+    use ttt_testbed::{FaultKind, FaultTarget, TestbedBuilder};
+
+    #[test]
+    fn pristine_node_matches_expectation() {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let node = tb.nodes()[0].id;
+        let actual = probe_node(&tb, node).unwrap();
+        let expected = expected_report(desc.node(&tb.node(node).name).unwrap());
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn probe_covers_core_subsystems() {
+        let tb = TestbedBuilder::small().build();
+        let report = probe_node(&tb, tb.nodes()[0].id).unwrap();
+        for key in [
+            "cpu/model",
+            "cpu/cstates",
+            "memory/total_gb",
+            "disk/sda/firmware",
+            "network/eth0/rate_gbps",
+            "bios/version",
+        ] {
+            assert!(report.contains_key(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn dead_node_does_not_answer() {
+        let mut tb = TestbedBuilder::small().build();
+        let n = tb.nodes()[0].id;
+        tb.apply_fault(FaultKind::NodeDead, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        assert!(probe_node(&tb, n).is_none());
+    }
+
+    #[test]
+    fn failed_dimm_shows_reduced_memory() {
+        let mut tb = TestbedBuilder::small().build();
+        let n = tb.nodes()[0].id;
+        let before: u32 = probe_node(&tb, n).unwrap()["memory/total_gb"].parse().unwrap();
+        tb.apply_fault(FaultKind::DimmFailure, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        let after: u32 = probe_node(&tb, n).unwrap()["memory/total_gb"].parse().unwrap();
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn ib_keys_only_on_ib_nodes() {
+        let tb = TestbedBuilder::small().build();
+        let ib_node = tb.clusters().iter().find(|c| c.has_ib).unwrap().nodes[0];
+        let plain = tb.clusters().iter().find(|c| !c.has_ib).unwrap().nodes[0];
+        assert!(probe_node(&tb, ib_node).unwrap().contains_key("infiniband/hca"));
+        assert!(!probe_node(&tb, plain).unwrap().contains_key("infiniband/hca"));
+    }
+}

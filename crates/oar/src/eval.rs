@@ -1,0 +1,118 @@
+//! Evaluation of property expressions against the resource database.
+
+use crate::ast::{CmpOp, Expr};
+use ttt_refapi::{PropValue, PropertyMap};
+
+/// Evaluate `expr` against one node's properties.
+///
+/// Comparison semantics follow OAR/SQL: `=`/`!=` compare the literal
+/// rendering (booleans match `YES`/`NO`), ordered comparisons are numeric
+/// when both sides parse as integers and lexicographic otherwise. A missing
+/// property never matches (except under `not`).
+pub fn eval(expr: &Expr, props: &PropertyMap) -> bool {
+    match expr {
+        Expr::True => true,
+        Expr::And(a, b) => eval(a, props) && eval(b, props),
+        Expr::Or(a, b) => eval(a, props) || eval(b, props),
+        Expr::Not(e) => !eval(e, props),
+        Expr::Cmp { key, op, value } => {
+            let Some(actual) = props.get(key) else {
+                return false;
+            };
+            compare(actual, *op, value)
+        }
+    }
+}
+
+fn compare(actual: &PropValue, op: CmpOp, literal: &str) -> bool {
+    match op {
+        CmpOp::Eq => actual.matches_literal(literal),
+        CmpOp::Neq => !actual.matches_literal(literal),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let ord = match (actual.as_int(), literal.parse::<i64>()) {
+                (Some(a), Ok(b)) => a.cmp(&b),
+                _ => actual.render().as_str().cmp(literal),
+            };
+            match op {
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn props() -> PropertyMap {
+        let mut m = PropertyMap::new();
+        m.insert("cluster".into(), PropValue::Str("grisou".into()));
+        m.insert("cpucore".into(), PropValue::Int(16));
+        m.insert("gpu".into(), PropValue::Bool(false));
+        m.insert("ib".into(), PropValue::Bool(true));
+        m
+    }
+
+    #[test]
+    fn equality_and_booleans() {
+        let p = props();
+        assert!(eval(&parse_expr("cluster='grisou'").unwrap(), &p));
+        assert!(!eval(&parse_expr("cluster='nova'").unwrap(), &p));
+        assert!(eval(&parse_expr("gpu='NO'").unwrap(), &p));
+        assert!(eval(&parse_expr("ib='YES'").unwrap(), &p));
+        assert!(eval(&parse_expr("cluster!='nova'").unwrap(), &p));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let p = props();
+        assert!(eval(&parse_expr("cpucore>=16").unwrap(), &p));
+        assert!(eval(&parse_expr("cpucore>8").unwrap(), &p));
+        assert!(!eval(&parse_expr("cpucore<16").unwrap(), &p));
+        assert!(eval(&parse_expr("cpucore<=16").unwrap(), &p));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = props();
+        assert!(eval(
+            &parse_expr("cluster='grisou' and cpucore=16").unwrap(),
+            &p
+        ));
+        assert!(eval(
+            &parse_expr("cluster='nova' or ib='YES'").unwrap(),
+            &p
+        ));
+        assert!(eval(&parse_expr("not gpu='YES'").unwrap(), &p));
+        assert!(!eval(
+            &parse_expr("not (cluster='grisou' or cluster='nova')").unwrap(),
+            &p
+        ));
+    }
+
+    #[test]
+    fn missing_property_never_matches() {
+        let p = props();
+        assert!(!eval(&parse_expr("bogus='x'").unwrap(), &p));
+        assert!(!eval(&parse_expr("bogus!='x'").unwrap(), &p));
+        // ...but can match under not.
+        assert!(eval(&parse_expr("not bogus='x'").unwrap(), &p));
+    }
+
+    #[test]
+    fn lexicographic_fallback() {
+        let p = props();
+        // "grisou" > "alpha" lexicographically.
+        assert!(eval(&parse_expr("cluster>'alpha'").unwrap(), &p));
+    }
+
+    #[test]
+    fn true_matches_everything() {
+        assert!(eval(&Expr::True, &PropertyMap::new()));
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-node reservation timelines (the Gantt chart).
+//!
+//! Each node carries a sorted list of non-overlapping reservations. The
+//! scheduler asks two questions: "is this node free over `[t, t+d)`?" and
+//! "what is the earliest instant ≥ `t` where a window of length `d` is
+//! free?". Both are O(#reservations) per node, which is plenty at testbed
+//! scale (hundreds of nodes, thousands of jobs).
+
+use crate::job::JobId;
+use ttt_sim::{SimDuration, SimTime};
+
+/// One reservation on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Start instant (inclusive).
+    pub start: SimTime,
+    /// End instant (exclusive).
+    pub end: SimTime,
+    /// Owning job.
+    pub job: JobId,
+}
+
+/// Reservation timeline of a single node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTimeline {
+    /// Reservations sorted by start, non-overlapping.
+    slots: Vec<Reservation>,
+}
+
+impl NodeTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        NodeTimeline::default()
+    }
+
+    /// Current reservations (sorted, non-overlapping).
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.slots
+    }
+
+    /// Whether `[start, start+d)` is entirely free.
+    pub fn is_free(&self, start: SimTime, d: SimDuration) -> bool {
+        let end = start + d;
+        self.slots.iter().all(|r| r.end <= start || r.start >= end)
+    }
+
+    /// Earliest instant ≥ `from` at which a window of length `d` is free.
+    pub fn earliest_free(&self, from: SimTime, d: SimDuration) -> SimTime {
+        let mut t = from;
+        for r in &self.slots {
+            if r.end <= t {
+                continue;
+            }
+            if r.start >= t + d {
+                break;
+            }
+            // Overlap: jump past this reservation.
+            t = r.end;
+        }
+        t
+    }
+
+    /// Insert a reservation.
+    ///
+    /// # Panics
+    /// Panics if the window overlaps an existing reservation — the
+    /// scheduler must only book windows it has verified free.
+    pub fn reserve(&mut self, start: SimTime, d: SimDuration, job: JobId) {
+        assert!(
+            self.is_free(start, d),
+            "double booking: job {job:?} at {start}"
+        );
+        let r = Reservation {
+            start,
+            end: start + d,
+            job,
+        };
+        let idx = self
+            .slots
+            .partition_point(|existing| existing.start < r.start);
+        self.slots.insert(idx, r);
+    }
+
+    /// Remove every reservation belonging to `job`. Returns how many were
+    /// removed.
+    pub fn release(&mut self, job: JobId) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|r| r.job != job);
+        before - self.slots.len()
+    }
+
+    /// Truncate a running reservation of `job` to end at `at` (early
+    /// completion). No-op if the job holds no reservation covering `at`.
+    pub fn truncate(&mut self, job: JobId, at: SimTime) {
+        for r in &mut self.slots {
+            if r.job == job && r.start <= at && r.end > at {
+                r.end = at;
+            }
+        }
+        self.slots.retain(|r| r.start < r.end);
+    }
+
+    /// The reservation active at instant `t`, if any.
+    pub fn active_at(&self, t: SimTime) -> Option<&Reservation> {
+        self.slots.iter().find(|r| r.start <= t && t < r.end)
+    }
+
+    /// Whether the node is busy at instant `t`.
+    pub fn busy_at(&self, t: SimTime) -> bool {
+        self.active_at(t).is_some()
+    }
+
+    /// Drop reservations that ended at or before `horizon` (history GC).
+    pub fn gc(&mut self, horizon: SimTime) {
+        self.slots.retain(|r| r.end > horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: SimDuration = SimDuration::from_hours(1);
+
+    fn t(h: u64) -> SimTime {
+        SimTime::from_hours(h)
+    }
+
+    #[test]
+    fn empty_timeline_is_free() {
+        let tl = NodeTimeline::new();
+        assert!(tl.is_free(t(0), H * 100));
+        assert_eq!(tl.earliest_free(t(5), H), t(5));
+        assert!(!tl.busy_at(t(3)));
+    }
+
+    #[test]
+    fn reserve_blocks_window() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(2), H * 2, JobId(1)); // [2, 4)
+        assert!(tl.is_free(t(0), H * 2)); // [0, 2) ok
+        assert!(tl.is_free(t(4), H)); // [4, 5) ok
+        assert!(!tl.is_free(t(1), H * 2)); // [1, 3) overlaps
+        assert!(!tl.is_free(t(3), H)); // [3, 4) overlaps
+        assert!(tl.busy_at(t(2)));
+        assert!(!tl.busy_at(t(4))); // end exclusive
+    }
+
+    #[test]
+    fn earliest_free_skips_reservations() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(2), H * 2, JobId(1)); // [2, 4)
+        tl.reserve(t(5), H, JobId(2)); // [5, 6)
+        // Window of 1h starting from 0 fits at 0.
+        assert_eq!(tl.earliest_free(t(0), H), t(0));
+        // Window of 3h from 0 cannot fit before [2,4): next candidate 4,
+        // but [4,7) overlaps [5,6), so 6.
+        assert_eq!(tl.earliest_free(t(0), H * 3), t(6));
+        // Window of 1h from 2 → 4.
+        assert_eq!(tl.earliest_free(t(2), H), t(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "double booking")]
+    fn double_booking_panics() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(0), H * 2, JobId(1));
+        tl.reserve(t(1), H, JobId(2));
+    }
+
+    #[test]
+    fn release_and_truncate() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(0), H * 4, JobId(1));
+        tl.reserve(t(6), H, JobId(2));
+        assert_eq!(tl.release(JobId(2)), 1);
+        assert!(tl.is_free(t(6), H * 10));
+        // Truncate job 1 at hour 2: the tail frees up.
+        tl.truncate(JobId(1), t(2));
+        assert!(tl.is_free(t(2), H * 10));
+        assert!(tl.busy_at(t(1)));
+        // Truncating at its start removes it entirely.
+        let mut tl2 = NodeTimeline::new();
+        tl2.reserve(t(0), H, JobId(3));
+        tl2.truncate(JobId(3), t(0));
+        assert!(tl2.reservations().is_empty());
+    }
+
+    #[test]
+    fn reservations_stay_sorted() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(6), H, JobId(3));
+        tl.reserve(t(0), H, JobId(1));
+        tl.reserve(t(3), H, JobId(2));
+        let starts: Vec<_> = tl.reservations().iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![t(0), t(3), t(6)]);
+    }
+
+    #[test]
+    fn gc_drops_history() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(0), H, JobId(1));
+        tl.reserve(t(5), H, JobId(2));
+        tl.gc(t(2));
+        assert_eq!(tl.reservations().len(), 1);
+        assert_eq!(tl.reservations()[0].job, JobId(2));
+    }
+
+    #[test]
+    fn active_at_identifies_job() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(1), H * 2, JobId(7));
+        assert_eq!(tl.active_at(t(2)).unwrap().job, JobId(7));
+        assert!(tl.active_at(t(0)).is_none());
+    }
+}

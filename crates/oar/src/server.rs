@@ -1,0 +1,842 @@
+//! The OAR server: submission, planning, lifecycle, status queries.
+//!
+//! Scheduling is FCFS with conservative backfilling over per-node
+//! reservation timelines: each waiting job is planned at the earliest
+//! instant where its resource request is satisfiable given existing
+//! reservations, and the reservation is kept (never re-planned) so later
+//! jobs can backfill around it.
+//!
+//! Two queries matter to the paper's external test scheduler (slide 17):
+//! "are this request's resources available *right now*?" and "did the job I
+//! just submitted actually start immediately?" — both are first-class here.
+
+use crate::ast::{Count, Expr, Level, RequestGroup, ResourceRequest};
+use crate::eval::eval;
+use crate::gantt::NodeTimeline;
+use crate::job::{Job, JobId, JobKind, JobState, Queue};
+use std::collections::BTreeMap;
+use ttt_refapi::{all_properties, PropertyMap, TestbedDescription};
+use ttt_sim::{EventQueue, SimDuration, SimTime};
+use ttt_testbed::{NodeId, Testbed};
+
+/// OAR node states (slide 21's `oarstate` family checks these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeState {
+    /// Available for scheduling.
+    Alive,
+    /// Administratively removed (maintenance).
+    Absent,
+    /// Failed a health check; excluded until re-verified.
+    Suspected,
+    /// Hardware dead.
+    Dead,
+}
+
+/// Errors returned at submission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No combination of testbed resources can ever satisfy the request.
+    Unsatisfiable,
+    /// The request is structurally invalid (e.g. zero nodes).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Unsatisfiable => f.write_str("request can never be satisfied"),
+            SubmitError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug, Clone, Copy)]
+enum OarEvent {
+    JobShouldStart(JobId),
+    JobShouldEnd(JobId),
+}
+
+/// The OAR server.
+pub struct OarServer {
+    /// Host-name-keyed properties from the Reference API.
+    props: Vec<PropertyMap>,
+    /// Cluster name per node (cached from props for hierarchy grouping).
+    cluster_of: Vec<String>,
+    node_states: Vec<NodeState>,
+    timelines: Vec<NodeTimeline>,
+    jobs: BTreeMap<JobId, Job>,
+    /// Jobs currently in `Waiting` state (index to avoid full scans).
+    waiting: Vec<JobId>,
+    next_job: u64,
+    events: EventQueue<OarEvent>,
+    now: SimTime,
+    /// Planning horizon: jobs not placeable within this window stay Waiting.
+    horizon: SimDuration,
+    /// Last reservation-history garbage collection.
+    last_gc: SimTime,
+}
+
+impl OarServer {
+    /// Build a server for a testbed, loading properties from the Reference
+    /// API description (slide 7: "OAR database filled from Reference API").
+    pub fn new(tb: &Testbed, desc: &TestbedDescription) -> Self {
+        let by_name = all_properties(desc);
+        let mut props = Vec::with_capacity(tb.nodes().len());
+        let mut cluster_of = Vec::with_capacity(tb.nodes().len());
+        for node in tb.nodes() {
+            let p = by_name
+                .get(&node.name)
+                .cloned()
+                .unwrap_or_default();
+            cluster_of.push(
+                p.get("cluster")
+                    .map(|v| v.render())
+                    .unwrap_or_default(),
+            );
+            props.push(p);
+        }
+        let n = tb.nodes().len();
+        OarServer {
+            props,
+            cluster_of,
+            node_states: vec![NodeState::Alive; n],
+            timelines: (0..n).map(|_| NodeTimeline::new()).collect(),
+            jobs: BTreeMap::new(),
+            waiting: Vec::new(),
+            next_job: 1,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimDuration::from_days(7),
+            last_gc: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time of the server.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// All jobs ever submitted, by id.
+    pub fn jobs(&self) -> &BTreeMap<JobId, Job> {
+        &self.jobs
+    }
+
+    /// One job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// The resource-database properties of one node (as loaded from the
+    /// Reference API). The `oarproperties` test family audits these.
+    pub fn properties(&self, node: NodeId) -> &PropertyMap {
+        &self.props[node.index()]
+    }
+
+    /// Per-node state.
+    pub fn node_state(&self, node: NodeId) -> NodeState {
+        self.node_states[node.index()]
+    }
+
+    /// Set a node's administrative state (Absent/Suspected handling).
+    pub fn set_node_state(&mut self, node: NodeId, state: NodeState) {
+        self.node_states[node.index()] = state;
+    }
+
+    /// Synchronize node states with testbed reality: dead hardware becomes
+    /// `Dead`, previously-dead-now-repaired hardware returns to `Alive`.
+    /// Running jobs on newly dead nodes fail.
+    pub fn sync_node_states(&mut self, tb: &Testbed) {
+        let mut to_fail = Vec::new();
+        for node in tb.nodes() {
+            let idx = node.id.index();
+            let alive = node.condition.alive;
+            match (alive, self.node_states[idx]) {
+                (false, NodeState::Dead) => {}
+                (false, _) => {
+                    self.node_states[idx] = NodeState::Dead;
+                    if let Some(r) = self.timelines[idx].active_at(self.now) {
+                        to_fail.push(r.job);
+                    }
+                }
+                (true, NodeState::Dead) => self.node_states[idx] = NodeState::Alive,
+                (true, _) => {}
+            }
+        }
+        for job in to_fail {
+            self.fail_job(job);
+        }
+        self.schedule();
+    }
+
+    /// Number of nodes busy (running a job) right now.
+    pub fn busy_nodes(&self) -> usize {
+        self.timelines
+            .iter()
+            .filter(|tl| tl.busy_at(self.now))
+            .count()
+    }
+
+    /// Fraction of alive nodes currently busy.
+    pub fn utilization(&self) -> f64 {
+        let alive = self
+            .node_states
+            .iter()
+            .filter(|s| matches!(s, NodeState::Alive))
+            .count();
+        if alive == 0 {
+            0.0
+        } else {
+            self.busy_nodes() as f64 / alive as f64
+        }
+    }
+
+    /// Jobs currently waiting (unplanned).
+    pub fn waiting_jobs(&self) -> Vec<JobId> {
+        self.waiting.clone()
+    }
+
+    /// Jobs currently running.
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// Submit a job. It will be planned at the next scheduling pass (which
+    /// runs immediately).
+    pub fn submit(
+        &mut self,
+        user: &str,
+        queue: Queue,
+        kind: JobKind,
+        request: ResourceRequest,
+    ) -> Result<JobId, SubmitError> {
+        self.validate(&request)?;
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                user: user.to_string(),
+                queue,
+                kind,
+                request,
+                state: JobState::Waiting,
+                submitted_at: self.now,
+                scheduled_start: None,
+                started_at: None,
+                ended_at: None,
+                assigned: Vec::new(),
+            },
+        );
+        self.waiting.push(id);
+        self.schedule();
+        Ok(id)
+    }
+
+    /// Would `request` start immediately if submitted right now? Returns the
+    /// assignment without booking anything. This is the availability check
+    /// the external test scheduler polls before triggering a build.
+    pub fn immediate_assignment(&self, request: &ResourceRequest) -> Option<Vec<NodeId>> {
+        self.find_assignment(request, self.now)
+    }
+
+    /// Cancel a job (waiting, scheduled or running).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state.is_final() {
+            return false;
+        }
+        let was_active = matches!(job.state, JobState::Running | JobState::Scheduled);
+        if job.state == JobState::Waiting {
+            self.waiting.retain(|&w| w != id);
+        }
+        job.state = JobState::Canceled;
+        job.ended_at = Some(self.now);
+        let assigned = job.assigned.clone();
+        if was_active {
+            for n in assigned {
+                self.timelines[n.index()].release(id);
+            }
+        }
+        self.schedule();
+        true
+    }
+
+    /// A running job finished early (tests usually do).
+    pub fn complete_early(&mut self, id: JobId) -> bool {
+        let now = self.now;
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state != JobState::Running {
+            return false;
+        }
+        job.state = JobState::Terminated;
+        job.ended_at = Some(now);
+        let assigned = job.assigned.clone();
+        for n in assigned {
+            self.timelines[n.index()].truncate(id, now);
+        }
+        self.schedule();
+        true
+    }
+
+    fn fail_job(&mut self, id: JobId) {
+        let now = self.now;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if job.state.is_final() {
+                return;
+            }
+            job.state = JobState::Error;
+            job.ended_at = Some(now);
+            let assigned = job.assigned.clone();
+            for n in assigned {
+                self.timelines[n.index()].release(id);
+                self.timelines[n.index()].truncate(id, now);
+            }
+        }
+    }
+
+    /// Advance virtual time to `to`, firing job starts/ends on the way.
+    pub fn advance(&mut self, to: SimTime) {
+        assert!(to >= self.now, "time cannot go backwards");
+        while let Some((t, ev)) = self.events.pop_due(to) {
+            self.now = t;
+            match ev {
+                OarEvent::JobShouldStart(id) => self.start_job(id),
+                OarEvent::JobShouldEnd(id) => {
+                    let running = self
+                        .jobs
+                        .get(&id)
+                        .map(|j| j.state == JobState::Running)
+                        .unwrap_or(false);
+                    if running {
+                        let now = self.now;
+                        if let Some(job) = self.jobs.get_mut(&id) {
+                            job.state = JobState::Terminated;
+                            job.ended_at = Some(now);
+                        }
+                        self.schedule();
+                    }
+                }
+            }
+        }
+        self.now = to;
+        // Daily GC of finished reservations keeps timelines short over
+        // months-long campaigns.
+        if to.since(self.last_gc) >= SimDuration::from_days(1) {
+            self.last_gc = to;
+            // Keep a one-minute grace window so `busy_at(now)` queries on
+            // just-finished reservations stay accurate.
+            let horizon = if to.as_secs() > 60 {
+                to - SimDuration::from_secs(60)
+            } else {
+                SimTime::ZERO
+            };
+            for tl in &mut self.timelines {
+                tl.gc(horizon);
+            }
+        }
+    }
+
+    fn start_job(&mut self, id: JobId) {
+        let Some(job) = self.jobs.get(&id) else { return };
+        if job.state != JobState::Scheduled {
+            return;
+        }
+        // If an assigned node died since planning, the job errors out.
+        let dead = job
+            .assigned
+            .iter()
+            .any(|n| !matches!(self.node_states[n.index()], NodeState::Alive));
+        if dead {
+            self.fail_job(id);
+            self.schedule();
+            return;
+        }
+        let now = self.now;
+        let walltime = job.request.walltime;
+        let job = self.jobs.get_mut(&id).unwrap();
+        job.state = JobState::Running;
+        job.started_at = Some(now);
+        self.events.push(now + walltime, OarEvent::JobShouldEnd(id));
+    }
+
+    /// Plan every waiting job (FCFS, conservative backfilling).
+    fn schedule(&mut self) {
+        let waiting: Vec<JobId> = self.waiting.clone();
+        for id in waiting {
+            let request = self.jobs[&id].request.clone();
+            if let Some((start, assignment)) = self.earliest_assignment(&request) {
+                let walltime = request.walltime;
+                for &n in &assignment {
+                    self.timelines[n.index()].reserve(start, walltime, id);
+                }
+                self.waiting.retain(|&w| w != id);
+                let job = self.jobs.get_mut(&id).unwrap();
+                job.assigned = assignment;
+                job.scheduled_start = Some(start);
+                if start == self.now {
+                    job.state = JobState::Scheduled;
+                    self.events.push(start, OarEvent::JobShouldStart(id));
+                    // Start immediately (same instant).
+                    self.start_job_now(id);
+                } else {
+                    job.state = JobState::Scheduled;
+                    self.events.push(start, OarEvent::JobShouldStart(id));
+                }
+            }
+            // else: stays Waiting; re-planned on the next pass.
+        }
+    }
+
+    /// Immediate start path for jobs planned at `now` (avoids waiting for
+    /// the event loop when submit+start happen at the same instant).
+    fn start_job_now(&mut self, id: JobId) {
+        self.start_job(id);
+    }
+
+    /// Earliest `(start, assignment)` for a request within the horizon.
+    fn earliest_assignment(&self, request: &ResourceRequest) -> Option<(SimTime, Vec<NodeId>)> {
+        // Candidate start instants: now plus every reservation end within
+        // the horizon (a free window can only open when something ends).
+        let limit = self.now + self.horizon;
+        let mut candidates: Vec<SimTime> = vec![self.now];
+        for tl in &self.timelines {
+            for r in tl.reservations() {
+                if r.end > self.now && r.end <= limit {
+                    candidates.push(r.end);
+                }
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        for t in candidates {
+            if let Some(assignment) = self.find_assignment(request, t) {
+                return Some((t, assignment));
+            }
+        }
+        None
+    }
+
+    /// Find a full assignment for `request` starting exactly at `start`.
+    fn find_assignment(&self, request: &ResourceRequest, start: SimTime) -> Option<Vec<NodeId>> {
+        let mut taken: Vec<NodeId> = Vec::new();
+        for group in &request.groups {
+            let picked = self.find_group(group, start, request.walltime, &taken)?;
+            taken.extend(picked);
+        }
+        Some(taken)
+    }
+
+    /// Nodes eligible for a group at `start` for `duration`: alive, match
+    /// the filter, free on their timeline, not already taken.
+    fn eligible(
+        &self,
+        filter: &Expr,
+        start: SimTime,
+        duration: SimDuration,
+        taken: &[NodeId],
+    ) -> Vec<NodeId> {
+        (0..self.props.len())
+            .map(NodeId::from)
+            .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
+            .filter(|n| !taken.contains(n))
+            .filter(|n| eval(filter, &self.props[n.index()]))
+            .filter(|n| self.timelines[n.index()].is_free(start, duration))
+            .collect()
+    }
+
+    /// All alive nodes matching the filter, regardless of reservations
+    /// (used for `ALL` semantics and satisfiability checks).
+    fn matching_alive(&self, filter: &Expr, taken: &[NodeId]) -> Vec<NodeId> {
+        (0..self.props.len())
+            .map(NodeId::from)
+            .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
+            .filter(|n| !taken.contains(n))
+            .filter(|n| eval(filter, &self.props[n.index()]))
+            .collect()
+    }
+
+    fn find_group(
+        &self,
+        group: &RequestGroup,
+        start: SimTime,
+        duration: SimDuration,
+        taken: &[NodeId],
+    ) -> Option<Vec<NodeId>> {
+        let eligible = self.eligible(&group.filter, start, duration, taken);
+        match group.hierarchy.as_slice() {
+            [(Level::Nodes, Count::Exact(n))] => {
+                let n = *n as usize;
+                (eligible.len() >= n).then(|| eligible[..n].to_vec())
+            }
+            [(Level::Nodes, Count::All)] => {
+                // ALL = every alive node matching the filter must be free.
+                let all = self.matching_alive(&group.filter, taken);
+                if all.is_empty() {
+                    return None;
+                }
+                let free = all
+                    .iter()
+                    .all(|n| self.timelines[n.index()].is_free(start, duration));
+                free.then_some(all)
+            }
+            [(Level::Cluster, Count::Exact(c)), (Level::Nodes, count)] => {
+                let mut by_cluster: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+                for n in &eligible {
+                    by_cluster
+                        .entry(self.cluster_of[n.index()].as_str())
+                        .or_default()
+                        .push(*n);
+                }
+                let mut picked = Vec::new();
+                let mut clusters_done = 0usize;
+                for (cluster, free_nodes) in &by_cluster {
+                    if clusters_done == *c as usize {
+                        break;
+                    }
+                    match count {
+                        Count::Exact(n) => {
+                            if free_nodes.len() >= *n as usize {
+                                picked.extend(&free_nodes[..*n as usize]);
+                                clusters_done += 1;
+                            }
+                        }
+                        Count::All => {
+                            // Every alive member of this cluster must be free.
+                            let members = self.matching_alive(
+                                &Expr::eq("cluster", cluster).and(group.filter.clone()),
+                                taken,
+                            );
+                            if !members.is_empty()
+                                && members
+                                    .iter()
+                                    .all(|n| self.timelines[n.index()].is_free(start, duration))
+                            {
+                                picked.extend(members);
+                                clusters_done += 1;
+                            }
+                        }
+                    }
+                }
+                (clusters_done == *c as usize).then_some(picked)
+            }
+            // Core/CPU-level or exotic hierarchies: allocate whole nodes
+            // for the equivalent node count (at least one).
+            other => {
+                let needed = group.node_count().unwrap_or(1).max(1) as usize;
+                let _ = other;
+                (eligible.len() >= needed).then(|| eligible[..needed].to_vec())
+            }
+        }
+    }
+
+    fn validate(&self, request: &ResourceRequest) -> Result<(), SubmitError> {
+        if request.groups.is_empty() {
+            return Err(SubmitError::InvalidRequest("no resource groups".into()));
+        }
+        if request.walltime.is_zero() {
+            return Err(SubmitError::InvalidRequest("zero walltime".into()));
+        }
+        // Satisfiability against the full (unreserved) testbed.
+        let mut taken: Vec<NodeId> = Vec::new();
+        for group in &request.groups {
+            let all = self.matching_alive(&group.filter, &taken);
+            let needed = group.node_count().map(|n| n as usize).unwrap_or(1).max(1);
+            if all.len() < needed {
+                return Err(SubmitError::Unsatisfiable);
+            }
+            taken.extend(all.into_iter().take(needed));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttt_refapi::describe;
+    use ttt_testbed::TestbedBuilder;
+
+    fn setup() -> (Testbed, OarServer) {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let server = OarServer::new(&tb, &desc);
+        (tb, server)
+    }
+
+    fn nodes_req(filter: Expr, n: u32, hours: u64) -> ResourceRequest {
+        ResourceRequest::nodes(filter, n, SimDuration::from_hours(hours))
+    }
+
+    #[test]
+    fn immediate_start_on_empty_testbed() {
+        let (_tb, mut s) = setup();
+        let id = s
+            .submit("alice", Queue::Default, JobKind::User, nodes_req(Expr::True, 2, 1))
+            .unwrap();
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        assert_eq!(s.job(id).unwrap().assigned.len(), 2);
+        assert_eq!(s.busy_nodes(), 2);
+    }
+
+    #[test]
+    fn job_ends_at_walltime() {
+        let (_tb, mut s) = setup();
+        let id = s
+            .submit("alice", Queue::Default, JobKind::User, nodes_req(Expr::True, 1, 2))
+            .unwrap();
+        s.advance(SimTime::from_hours(1));
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        s.advance(SimTime::from_hours(3));
+        assert_eq!(s.job(id).unwrap().state, JobState::Terminated);
+        assert_eq!(s.busy_nodes(), 0);
+        assert_eq!(
+            s.job(id).unwrap().runtime().unwrap(),
+            SimDuration::from_hours(2)
+        );
+    }
+
+    #[test]
+    fn fcfs_queues_when_full() {
+        let (_tb, mut s) = setup();
+        // Fill the whole testbed (14 nodes).
+        let first = s
+            .submit("alice", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 2))
+            .unwrap();
+        let second = s
+            .submit("bob", Queue::Default, JobKind::User, nodes_req(Expr::True, 4, 1))
+            .unwrap();
+        assert_eq!(s.job(first).unwrap().state, JobState::Running);
+        // Second is planned for when the first ends.
+        let j2 = s.job(second).unwrap();
+        assert_eq!(j2.state, JobState::Scheduled);
+        assert_eq!(j2.scheduled_start, Some(SimTime::from_hours(2)));
+        s.advance(SimTime::from_hours(2));
+        assert_eq!(s.job(second).unwrap().state, JobState::Running);
+        assert_eq!(
+            s.job(second).unwrap().waiting_time().unwrap(),
+            SimDuration::from_hours(2)
+        );
+    }
+
+    #[test]
+    fn backfilling_uses_gaps() {
+        let (_tb, mut s) = setup();
+        // Job A takes all 14 nodes for 2h.
+        s.submit("a", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 2))
+            .unwrap();
+        // Job B wants all 14 nodes for 4h → starts at t=2.
+        let b = s
+            .submit("b", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 4))
+            .unwrap();
+        assert_eq!(s.job(b).unwrap().scheduled_start, Some(SimTime::from_hours(2)));
+        // Job C wants 14 nodes for 1h → must go after B (t=6), FCFS order
+        // is preserved because B's reservation is conservative.
+        let c = s
+            .submit("c", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 1))
+            .unwrap();
+        assert_eq!(s.job(c).unwrap().scheduled_start, Some(SimTime::from_hours(6)));
+    }
+
+    #[test]
+    fn cluster_filter_restricts_nodes() {
+        let (tb, mut s) = setup();
+        let id = s
+            .submit(
+                "ci",
+                Queue::Admin,
+                JobKind::Test,
+                nodes_req(Expr::eq("cluster", "alpha"), 2, 1),
+            )
+            .unwrap();
+        let job = s.job(id).unwrap();
+        let alpha = tb.cluster_by_name("alpha").unwrap();
+        assert!(job.assigned.iter().all(|n| alpha.nodes.contains(n)));
+    }
+
+    #[test]
+    fn all_nodes_of_cluster() {
+        let (tb, mut s) = setup();
+        let req = ResourceRequest::all_nodes(
+            Expr::eq("cluster", "beta"),
+            SimDuration::from_hours(1),
+        );
+        let id = s.submit("ci", Queue::Admin, JobKind::Test, req).unwrap();
+        let beta = tb.cluster_by_name("beta").unwrap();
+        assert_eq!(s.job(id).unwrap().assigned.len(), beta.nodes.len());
+    }
+
+    #[test]
+    fn all_nodes_waits_for_every_member() {
+        let (_tb, mut s) = setup();
+        // Occupy one beta node for 3 hours.
+        s.submit(
+            "user",
+            Queue::Default,
+            JobKind::User,
+            nodes_req(Expr::eq("cluster", "beta"), 1, 3),
+        )
+        .unwrap();
+        // ALL-beta request cannot start now.
+        let req = ResourceRequest::all_nodes(
+            Expr::eq("cluster", "beta"),
+            SimDuration::from_hours(1),
+        );
+        assert!(s.immediate_assignment(&req).is_none());
+        let id = s.submit("ci", Queue::Admin, JobKind::Test, req).unwrap();
+        assert_eq!(s.job(id).unwrap().state, JobState::Scheduled);
+        assert_eq!(
+            s.job(id).unwrap().scheduled_start,
+            Some(SimTime::from_hours(3))
+        );
+    }
+
+    #[test]
+    fn multi_group_request_spans_clusters() {
+        let (tb, mut s) = setup();
+        let req = ResourceRequest {
+            groups: vec![
+                RequestGroup {
+                    filter: Expr::eq("cluster", "alpha"),
+                    hierarchy: vec![(Level::Nodes, Count::Exact(1))],
+                },
+                RequestGroup {
+                    filter: Expr::eq("cluster", "gamma"),
+                    hierarchy: vec![(Level::Nodes, Count::Exact(2))],
+                },
+            ],
+            walltime: SimDuration::from_hours(1),
+        };
+        let id = s.submit("x", Queue::Default, JobKind::User, req).unwrap();
+        let job = s.job(id).unwrap();
+        assert_eq!(job.assigned.len(), 3);
+        let alpha = tb.cluster_by_name("alpha").unwrap();
+        let gamma = tb.cluster_by_name("gamma").unwrap();
+        assert_eq!(job.assigned.iter().filter(|n| alpha.nodes.contains(n)).count(), 1);
+        assert_eq!(job.assigned.iter().filter(|n| gamma.nodes.contains(n)).count(), 2);
+    }
+
+    #[test]
+    fn cluster_hierarchy_level() {
+        let (_tb, mut s) = setup();
+        let req = ResourceRequest {
+            groups: vec![RequestGroup {
+                filter: Expr::True,
+                hierarchy: vec![(Level::Cluster, Count::Exact(2)), (Level::Nodes, Count::Exact(2))],
+            }],
+            walltime: SimDuration::from_hours(1),
+        };
+        let id = s.submit("x", Queue::Default, JobKind::User, req).unwrap();
+        assert_eq!(s.job(id).unwrap().assigned.len(), 4);
+    }
+
+    #[test]
+    fn unsatisfiable_is_rejected() {
+        let (_tb, mut s) = setup();
+        let err = s
+            .submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 1000, 1))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsatisfiable);
+        let err = s
+            .submit(
+                "x",
+                Queue::Default,
+                JobKind::User,
+                nodes_req(Expr::eq("cluster", "nope"), 1, 1),
+            )
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsatisfiable);
+    }
+
+    #[test]
+    fn zero_walltime_invalid() {
+        let (_tb, mut s) = setup();
+        let err = s
+            .submit(
+                "x",
+                Queue::Default,
+                JobKind::User,
+                ResourceRequest::nodes(Expr::True, 1, SimDuration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidRequest(_)));
+    }
+
+    #[test]
+    fn cancel_releases_resources() {
+        let (_tb, mut s) = setup();
+        let id = s
+            .submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 5))
+            .unwrap();
+        assert_eq!(s.busy_nodes(), 14);
+        assert!(s.cancel(id));
+        assert_eq!(s.busy_nodes(), 0);
+        assert_eq!(s.job(id).unwrap().state, JobState::Canceled);
+        assert!(!s.cancel(id)); // idempotent
+    }
+
+    #[test]
+    fn early_completion_frees_timeline() {
+        let (_tb, mut s) = setup();
+        let a = s
+            .submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 10))
+            .unwrap();
+        let b = s
+            .submit("y", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 1))
+            .unwrap();
+        assert_eq!(s.job(b).unwrap().scheduled_start, Some(SimTime::from_hours(10)));
+        s.advance(SimTime::from_hours(1));
+        assert!(s.complete_early(a));
+        // b is still conservatively scheduled at hour 10; but after a new
+        // pass triggered by completion, b can be re-planned only if it was
+        // Waiting. Conservative backfilling keeps the reservation: verify
+        // it still runs at its reserved time.
+        s.advance(SimTime::from_hours(10));
+        assert_eq!(s.job(b).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn dead_node_fails_running_job() {
+        let (mut tb, mut s) = setup();
+        let id = s
+            .submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 5))
+            .unwrap();
+        let victim = s.job(id).unwrap().assigned[0];
+        tb.apply_fault(
+            ttt_testbed::FaultKind::NodeDead,
+            ttt_testbed::FaultTarget::Node(victim),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        s.sync_node_states(&tb);
+        assert_eq!(s.job(id).unwrap().state, JobState::Error);
+        assert_eq!(s.node_state(victim), NodeState::Dead);
+    }
+
+    #[test]
+    fn immediate_assignment_does_not_book() {
+        let (_tb, s) = setup();
+        let req = nodes_req(Expr::True, 3, 1);
+        assert!(s.immediate_assignment(&req).is_some());
+        assert_eq!(s.busy_nodes(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let (_tb, mut s) = setup();
+        assert_eq!(s.utilization(), 0.0);
+        s.submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 7, 1))
+            .unwrap();
+        assert!((s.utilization() - 0.5).abs() < 1e-9);
+    }
+}

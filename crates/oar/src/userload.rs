@@ -1,0 +1,190 @@
+//! Synthetic user load.
+//!
+//! The paper's scheduling problem only exists because "resources are
+//! heavily used" (slide 16) — tests compete with real experiments. This
+//! generator produces a diurnal stream of user jobs: arrivals follow a
+//! thinned Poisson process peaking weekday afternoons, sizes follow the
+//! small-jobs-dominate shape typical of testbed usage, and a minority of
+//! jobs grab whole clusters for hours (the ones that starve
+//! hardware-centric tests for weeks).
+
+use crate::ast::{Expr, ResourceRequest};
+use crate::job::{JobKind, Queue};
+use crate::server::OarServer;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ttt_sim::{Calendar, PoissonProcess, SimDuration, SimTime};
+
+/// Configuration of the user-load generator.
+#[derive(Debug, Clone)]
+pub struct UserLoadConfig {
+    /// Mean arrivals per day at peak intensity (the diurnal curve scales
+    /// this down off-peak).
+    pub peak_jobs_per_day: f64,
+    /// Probability a job targets a specific cluster (vs. any nodes).
+    pub cluster_affinity: f64,
+    /// Probability a cluster-affine job requests the whole cluster.
+    pub whole_cluster_prob: f64,
+}
+
+impl Default for UserLoadConfig {
+    fn default() -> Self {
+        UserLoadConfig {
+            peak_jobs_per_day: 120.0,
+            cluster_affinity: 0.6,
+            whole_cluster_prob: 0.08,
+        }
+    }
+}
+
+/// Generates and submits user jobs as virtual time advances.
+#[derive(Debug)]
+pub struct UserLoadGenerator {
+    config: UserLoadConfig,
+    clusters: Vec<String>,
+    next_candidate: Option<SimTime>,
+    submitted: u64,
+}
+
+impl UserLoadGenerator {
+    /// Create a generator for the given cluster names.
+    pub fn new(config: UserLoadConfig, clusters: Vec<String>) -> Self {
+        UserLoadGenerator {
+            config,
+            clusters,
+            next_candidate: None,
+            submitted: 0,
+        }
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Advance to `until`, submitting user jobs into `server`.
+    ///
+    /// Uses Poisson thinning: candidates arrive at the peak rate and are
+    /// kept with probability equal to the diurnal intensity.
+    pub fn advance<R: Rng>(&mut self, until: SimTime, server: &mut OarServer, rng: &mut R) {
+        let process = PoissonProcess::per_day(self.config.peak_jobs_per_day);
+        let mut t = match self.next_candidate {
+            Some(t) => t,
+            None => match process.next_after(server.now(), rng) {
+                Some(t) => t,
+                None => return,
+            },
+        };
+        while t < until {
+            if rng.gen_bool(Calendar::diurnal_intensity(t).clamp(0.0, 1.0)) {
+                server.advance(t);
+                let request = self.draw_request(rng);
+                let user = format!("user{}", rng.gen_range(0..50));
+                // Unsatisfiable draws (e.g. whole dead cluster) are simply
+                // dropped — real users would see the error and move on.
+                if server
+                    .submit(&user, Queue::Default, JobKind::User, request)
+                    .is_ok()
+                {
+                    self.submitted += 1;
+                }
+            }
+            t = match process.next_after(t, rng) {
+                Some(next) => next,
+                None => break,
+            };
+        }
+        self.next_candidate = Some(t);
+    }
+
+    fn draw_request<R: Rng>(&self, rng: &mut R) -> ResourceRequest {
+        // Walltimes: mostly short, occasionally long (log-ish mixture).
+        let walltime = match rng.gen_range(0..10) {
+            0..=4 => SimDuration::from_mins(rng.gen_range(15..120)),
+            5..=7 => SimDuration::from_hours(rng.gen_range(2..6)),
+            8 => SimDuration::from_hours(rng.gen_range(6..12)),
+            _ => SimDuration::from_hours(rng.gen_range(12..48)),
+        };
+        let cluster_affine =
+            !self.clusters.is_empty() && rng.gen_bool(self.config.cluster_affinity);
+        if cluster_affine {
+            let cluster = self.clusters.choose(rng).unwrap().clone();
+            if rng.gen_bool(self.config.whole_cluster_prob) {
+                ResourceRequest::all_nodes(Expr::eq("cluster", &cluster), walltime)
+            } else {
+                let n = rng.gen_range(1..=4);
+                ResourceRequest::nodes(Expr::eq("cluster", &cluster), n, walltime)
+            }
+        } else {
+            let n = match rng.gen_range(0..10) {
+                0..=5 => rng.gen_range(1..=2),
+                6..=8 => rng.gen_range(3..=8),
+                _ => rng.gen_range(9..=16),
+            };
+            ResourceRequest::nodes(Expr::True, n, walltime)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttt_refapi::describe;
+    use ttt_sim::rng::stream_rng;
+    use ttt_testbed::TestbedBuilder;
+
+    fn setup() -> (UserLoadGenerator, OarServer) {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let server = OarServer::new(&tb, &desc);
+        let clusters = tb.clusters().iter().map(|c| c.name.clone()).collect();
+        let gen = UserLoadGenerator::new(UserLoadConfig::default(), clusters);
+        (gen, server)
+    }
+
+    #[test]
+    fn generates_plausible_volume() {
+        let (mut gen, mut server) = setup();
+        let mut rng = stream_rng(9, "userload");
+        gen.advance(SimTime::from_days(7), &mut server, &mut rng);
+        // Peak 120/day thinned by the diurnal curve (weekdays ~0.3 mean,
+        // weekends 0.15) over a week: somewhere well above zero and below
+        // the un-thinned 840. Most submissions succeed.
+        let n = gen.submitted();
+        assert!(n > 80, "submitted {n}");
+        assert!(n < 500, "submitted {n}");
+        assert!(!server.jobs().is_empty());
+    }
+
+    #[test]
+    fn submissions_are_user_kind() {
+        let (mut gen, mut server) = setup();
+        let mut rng = stream_rng(10, "userload");
+        gen.advance(SimTime::from_days(2), &mut server, &mut rng);
+        assert!(server
+            .jobs()
+            .values()
+            .all(|j| j.kind == JobKind::User && j.queue == Queue::Default));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let (mut gen, mut server) = setup();
+            let mut rng = stream_rng(seed, "userload");
+            gen.advance(SimTime::from_days(3), &mut server, &mut rng);
+            (gen.submitted(), server.jobs().len())
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn server_time_advances_with_load() {
+        let (mut gen, mut server) = setup();
+        let mut rng = stream_rng(11, "userload");
+        gen.advance(SimTime::from_days(1), &mut server, &mut rng);
+        // Server time has moved to the last submission's instant (≤ 1 day).
+        assert!(server.now() <= SimTime::from_days(1));
+        assert!(server.now() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,188 @@
+//! Structural diff between two testbed descriptions.
+//!
+//! Answers "what changed between version N and version M?" — the historical
+//! perspective the archive exists for. Also reused by the `refapi` test
+//! family to explain *where* a description disagrees with reality.
+
+use crate::description::TestbedDescription;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One difference between two descriptions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffEntry {
+    /// A node present only in the newer description.
+    NodeAdded {
+        /// Host name.
+        node: String,
+    },
+    /// A node present only in the older description.
+    NodeRemoved {
+        /// Host name.
+        node: String,
+    },
+    /// A node whose described hardware changed.
+    HardwareChanged {
+        /// Host name.
+        node: String,
+        /// Human-readable summary of the first differing field.
+        field: String,
+    },
+}
+
+/// Compare two descriptions, returning the differences sorted by node name.
+pub fn diff_descriptions(old: &TestbedDescription, new: &TestbedDescription) -> Vec<DiffEntry> {
+    let old_nodes: BTreeSet<&str> = old
+        .sites
+        .iter()
+        .flat_map(|s| &s.clusters)
+        .flat_map(|c| &c.nodes)
+        .map(|n| n.name.as_str())
+        .collect();
+    let new_nodes: BTreeSet<&str> = new
+        .sites
+        .iter()
+        .flat_map(|s| &s.clusters)
+        .flat_map(|c| &c.nodes)
+        .map(|n| n.name.as_str())
+        .collect();
+
+    let mut out = Vec::new();
+    for &n in new_nodes.difference(&old_nodes) {
+        out.push(DiffEntry::NodeAdded { node: n.to_string() });
+    }
+    for &n in old_nodes.difference(&new_nodes) {
+        out.push(DiffEntry::NodeRemoved { node: n.to_string() });
+    }
+    for &name in old_nodes.intersection(&new_nodes) {
+        let o = old.node(name).expect("in old set");
+        let n = new.node(name).expect("in new set");
+        if o.hardware != n.hardware {
+            out.push(DiffEntry::HardwareChanged {
+                node: name.to_string(),
+                field: first_difference(&o.hardware, &n.hardware),
+            });
+        }
+    }
+    out.sort_by(|a, b| key(a).cmp(&key(b)));
+    out
+}
+
+fn key(e: &DiffEntry) -> (&str, u8) {
+    match e {
+        DiffEntry::NodeAdded { node } => (node, 0),
+        DiffEntry::NodeRemoved { node } => (node, 1),
+        DiffEntry::HardwareChanged { node, .. } => (node, 2),
+    }
+}
+
+/// Identify the first field that differs between two hardware descriptions.
+fn first_difference(
+    a: &ttt_testbed::NodeHardware,
+    b: &ttt_testbed::NodeHardware,
+) -> String {
+    if a.cpu != b.cpu {
+        if a.cpu.cstates_enabled != b.cpu.cstates_enabled {
+            return "cpu.cstates_enabled".into();
+        }
+        if a.cpu.turbo_enabled != b.cpu.turbo_enabled {
+            return "cpu.turbo_enabled".into();
+        }
+        if a.cpu.ht_enabled != b.cpu.ht_enabled {
+            return "cpu.ht_enabled".into();
+        }
+        return "cpu".into();
+    }
+    if a.mem != b.mem {
+        return "mem".into();
+    }
+    if a.disks != b.disks {
+        for (i, (da, db)) in a.disks.iter().zip(&b.disks).enumerate() {
+            if da.firmware != db.firmware {
+                return format!("disks[{i}].firmware");
+            }
+            if da.write_cache != db.write_cache {
+                return format!("disks[{i}].write_cache");
+            }
+        }
+        return "disks".into();
+    }
+    if a.nics != b.nics {
+        return "nics".into();
+    }
+    if a.bios != b.bios {
+        return "bios.version".into();
+    }
+    if a.ib != b.ib {
+        return "ib".into();
+    }
+    if a.gpu != b.gpu {
+        return "gpu".into();
+    }
+    "unknown".into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::describe;
+    use ttt_sim::SimTime;
+    use ttt_testbed::TestbedBuilder;
+
+    #[test]
+    fn identical_descriptions_have_no_diff() {
+        let tb = TestbedBuilder::small().build();
+        let a = describe(&tb, 1, SimTime::ZERO);
+        let b = describe(&tb, 2, SimTime::from_days(1));
+        assert!(diff_descriptions(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn hardware_change_is_reported_with_field() {
+        let tb = TestbedBuilder::small().build();
+        let a = describe(&tb, 1, SimTime::ZERO);
+        let mut b = describe(&tb, 2, SimTime::from_days(1));
+        // Mutate one described node's firmware setting.
+        b.sites[0].clusters[0].nodes[0].hardware.cpu.turbo_enabled = true;
+        let d = diff_descriptions(&a, &b);
+        assert_eq!(d.len(), 1);
+        match &d[0] {
+            DiffEntry::HardwareChanged { node, field } => {
+                assert_eq!(node, "alpha-1");
+                assert_eq!(field, "cpu.turbo_enabled");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn added_and_removed_nodes() {
+        let tb = TestbedBuilder::small().build();
+        let a = describe(&tb, 1, SimTime::ZERO);
+        let mut b = describe(&tb, 2, SimTime::from_days(1));
+        let removed = b.sites[0].clusters[0].nodes.remove(0);
+        let mut added = removed.clone();
+        added.name = "alpha-99".into();
+        b.sites[0].clusters[0].nodes.push(added);
+        let d = diff_descriptions(&a, &b);
+        assert!(d.contains(&DiffEntry::NodeRemoved { node: "alpha-1".into() }));
+        assert!(d.contains(&DiffEntry::NodeAdded { node: "alpha-99".into() }));
+    }
+
+    #[test]
+    fn disk_field_identification() {
+        let tb = TestbedBuilder::small().build();
+        let a = describe(&tb, 1, SimTime::ZERO);
+        let mut b = describe(&tb, 2, SimTime::from_days(1));
+        // alpha is disk-checkable: two HDDs.
+        b.sites[0].clusters[0].nodes[1].hardware.disks[0].write_cache = false;
+        let d = diff_descriptions(&a, &b);
+        assert_eq!(
+            d,
+            vec![DiffEntry::HardwareChanged {
+                node: "alpha-2".into(),
+                field: "disks[0].write_cache".into()
+            }]
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Property extraction: the Reference API → OAR resource database bridge.
+//!
+//! Slide 7: "OAR database filled from Reference API". For every described
+//! node we derive the flat property map users select on with expressions
+//! like `cluster='a' and gpu='YES'`.
+
+use crate::description::{NodeDescription, TestbedDescription};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A property value in the resource database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropValue {
+    /// String-valued property.
+    Str(String),
+    /// Integer-valued property.
+    Int(i64),
+    /// Boolean rendered the OAR way (`'YES'`/`'NO'`).
+    Bool(bool),
+}
+
+impl PropValue {
+    /// OAR-style string rendering (booleans become `YES`/`NO`).
+    pub fn render(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Bool(true) => "YES".into(),
+            PropValue::Bool(false) => "NO".into(),
+        }
+    }
+
+    /// Compare against a literal string as OAR does: booleans match
+    /// `YES`/`NO`, integers match their decimal rendering.
+    pub fn matches_literal(&self, lit: &str) -> bool {
+        self.render() == lit
+    }
+
+    /// Numeric view, if the value is (or parses as) a number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(i) => Some(*i),
+            PropValue::Str(s) => s.parse().ok(),
+            PropValue::Bool(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The flat property map OAR stores for one node.
+pub type PropertyMap = BTreeMap<String, PropValue>;
+
+/// Derive OAR properties for one described node.
+pub fn node_properties(site: &str, cluster: &str, node: &NodeDescription) -> PropertyMap {
+    let hw = &node.hardware;
+    let mut m = PropertyMap::new();
+    m.insert("host".into(), PropValue::Str(node.name.clone()));
+    m.insert("site".into(), PropValue::Str(site.to_string()));
+    m.insert("cluster".into(), PropValue::Str(cluster.to_string()));
+    m.insert("cpucore".into(), PropValue::Int(hw.cores() as i64));
+    m.insert(
+        "cpufreq".into(),
+        PropValue::Int(hw.cpu.base_freq_mhz as i64),
+    );
+    m.insert("memnode".into(), PropValue::Int(hw.memory_gb() as i64));
+    m.insert("gpu".into(), PropValue::Bool(hw.gpu.is_some()));
+    m.insert("ib".into(), PropValue::Bool(hw.ib.is_some()));
+    m.insert(
+        "eth10g".into(),
+        PropValue::Bool(hw.primary_nic().is_some_and(|n| n.rate_gbps >= 10)),
+    );
+    m.insert(
+        "disktype".into(),
+        PropValue::Str(
+            hw.primary_disk()
+                .map(|d| match d.kind {
+                    ttt_testbed::DiskKind::Hdd => "HDD".to_string(),
+                    ttt_testbed::DiskKind::Ssd => "SSD".to_string(),
+                })
+                .unwrap_or_else(|| "NONE".into()),
+        ),
+    );
+    m.insert(
+        "disk_count".into(),
+        PropValue::Int(hw.disks.len() as i64),
+    );
+    m
+}
+
+/// Derive the full `(node name → properties)` database from a description.
+pub fn all_properties(d: &TestbedDescription) -> BTreeMap<String, PropertyMap> {
+    let mut out = BTreeMap::new();
+    for site in &d.sites {
+        for cluster in &site.clusters {
+            for node in &cluster.nodes {
+                out.insert(
+                    node.name.clone(),
+                    node_properties(&site.name, &cluster.name, node),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::describe;
+    use ttt_sim::SimTime;
+    use ttt_testbed::TestbedBuilder;
+
+    #[test]
+    fn properties_cover_expected_keys() {
+        let tb = TestbedBuilder::small().build();
+        let d = describe(&tb, 1, SimTime::ZERO);
+        let n = d.node("alpha-1").unwrap();
+        let p = node_properties("east", "alpha", n);
+        for key in [
+            "host", "site", "cluster", "cpucore", "cpufreq", "memnode", "gpu", "ib", "eth10g",
+            "disktype", "disk_count",
+        ] {
+            assert!(p.contains_key(key), "missing {key}");
+        }
+        assert_eq!(p["cluster"], PropValue::Str("alpha".into()));
+        assert_eq!(p["cpucore"], PropValue::Int(8));
+        assert_eq!(p["ib"], PropValue::Bool(true));
+    }
+
+    #[test]
+    fn oar_boolean_rendering() {
+        assert_eq!(PropValue::Bool(true).render(), "YES");
+        assert_eq!(PropValue::Bool(false).render(), "NO");
+        assert!(PropValue::Bool(true).matches_literal("YES"));
+        assert!(!PropValue::Bool(true).matches_literal("yes"));
+        assert!(PropValue::Int(16).matches_literal("16"));
+        assert_eq!(PropValue::Str("42".into()).as_int(), Some(42));
+        assert_eq!(PropValue::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn all_properties_covers_testbed() {
+        let tb = TestbedBuilder::small().build();
+        let d = describe(&tb, 1, SimTime::ZERO);
+        let db = all_properties(&d);
+        assert_eq!(db.len(), tb.nodes().len());
+        // Every site value is a real site.
+        for props in db.values() {
+            let site = props["site"].render();
+            assert!(tb.site_by_name(&site).is_some(), "bad site {site}");
+        }
+    }
+
+    #[test]
+    fn eth10g_depends_on_nic_rate() {
+        let tb = TestbedBuilder::small().build();
+        let d = describe(&tb, 1, SimTime::ZERO);
+        // gamma is a 4-core old-generation cluster with 1G NICs.
+        let gamma = d.node("gamma-1").unwrap();
+        let p = node_properties("west", "gamma", gamma);
+        assert_eq!(p["eth10g"], PropValue::Bool(false));
+        // beta is a 16-core modern cluster: 10G.
+        let beta = d.node("beta-1").unwrap();
+        let p = node_properties("east", "beta", beta);
+        assert_eq!(p["eth10g"], PropValue::Bool(true));
+    }
+}

@@ -1,0 +1,110 @@
+//! Exponential backoff, as used by the paper's external job scheduler
+//! (slide 17: "Retry policy (exponential backoff)").
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential backoff policy: delay after the n-th consecutive failure is
+/// `base * factor^n`, capped at `max`, with optional ±`jitter` fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialBackoff {
+    /// Delay after the first failure.
+    pub base: SimDuration,
+    /// Multiplicative growth per additional failure.
+    pub factor: f64,
+    /// Upper bound on the delay.
+    pub max: SimDuration,
+    /// Jitter fraction in `[0, 1]`: the delay is scaled by a uniform factor
+    /// in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for ExponentialBackoff {
+    /// The paper-scenario default: 30 min base, doubling, capped at 24 h,
+    /// 10 % jitter so retries from different configurations desynchronize.
+    fn default() -> Self {
+        ExponentialBackoff {
+            base: SimDuration::from_mins(30),
+            factor: 2.0,
+            max: SimDuration::from_hours(24),
+            jitter: 0.1,
+        }
+    }
+}
+
+impl ExponentialBackoff {
+    /// Deterministic delay after `attempt` consecutive failures
+    /// (attempt 0 = first failure), without jitter.
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let scaled = self.base.as_secs_f64() * self.factor.powi(attempt as i32);
+        SimDuration::from_secs_f64(scaled).min(self.max)
+    }
+
+    /// Delay with jitter applied, drawing from `rng`.
+    pub fn delay_jittered<R: Rng>(&self, attempt: u32, rng: &mut R) -> SimDuration {
+        let d = self.delay(attempt);
+        if self.jitter <= 0.0 {
+            return d;
+        }
+        let lo = 1.0 - self.jitter;
+        let hi = 1.0 + self.jitter;
+        let scale: f64 = rng.gen_range(lo..hi);
+        (d * scale).min(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    fn policy() -> ExponentialBackoff {
+        ExponentialBackoff {
+            base: SimDuration::from_mins(30),
+            factor: 2.0,
+            max: SimDuration::from_hours(24),
+            jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn doubles_until_cap() {
+        let b = policy();
+        assert_eq!(b.delay(0), SimDuration::from_mins(30));
+        assert_eq!(b.delay(1), SimDuration::from_hours(1));
+        assert_eq!(b.delay(2), SimDuration::from_hours(2));
+        assert_eq!(b.delay(5), SimDuration::from_hours(16));
+        assert_eq!(b.delay(6), SimDuration::from_hours(24)); // capped (32 > 24)
+        assert_eq!(b.delay(20), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let b = policy();
+        assert_eq!(b.delay(1000), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let b = ExponentialBackoff {
+            jitter: 0.1,
+            ..policy()
+        };
+        let mut rng = stream_rng(1, "backoff");
+        for attempt in 0..5 {
+            let nominal = b.delay(attempt).as_secs_f64();
+            for _ in 0..100 {
+                let d = b.delay_jittered(attempt, &mut rng).as_secs_f64();
+                assert!(d >= nominal * 0.9 - 1.0 && d <= nominal * 1.1 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let b = policy();
+        let mut rng = stream_rng(1, "backoff");
+        assert_eq!(b.delay_jittered(3, &mut rng), b.delay(3));
+    }
+}

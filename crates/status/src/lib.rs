@@ -1,0 +1,15 @@
+//! # ttt-status — analyzing and summarizing results
+//!
+//! Slide 18 lists the requirements the stock Jenkins UI could not meet:
+//! "per test status, for all sites/clusters; per site or per cluster
+//! status, for all tests; historical perspective" — solved by "an external
+//! status page that uses Jenkins' REST API". This crate is that page:
+//! it consumes [`ttt_ci::JobView`]s (never CI internals), aggregates them
+//! into a test × target grid with success-rate history, and renders the
+//! ASCII weather table of slide 19.
+
+pub mod grid;
+pub mod history;
+
+pub use grid::{success_series, CellStatus, StatusGrid};
+pub use history::{sparkline, worst_targets, HistoryReport};

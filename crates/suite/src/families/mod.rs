@@ -1,0 +1,82 @@
+//! The sixteen test families, grouped by what they exercise.
+
+pub mod deploy;
+pub mod description;
+pub mod hardware;
+pub mod services;
+
+use std::collections::BTreeSet;
+
+/// Map a nodecheck probe key to the fault-signature prefix the bug tracker
+/// expects, e.g. `"cpu/cstates"` → `"cpu-cstates"`.
+pub(crate) fn probe_key_to_signature(key: &str) -> &'static str {
+    if key.starts_with("cpu/cstates") {
+        "cpu-cstates"
+    } else if key.starts_with("cpu/turbo") {
+        "cpu-turbo"
+    } else if key.starts_with("cpu/ht") || key.starts_with("cpu/threads") {
+        "cpu-ht"
+    } else if key.starts_with("disk/") && key.ends_with("/firmware") {
+        "disk-firmware"
+    } else if key.starts_with("disk/") && key.ends_with("/write_cache") {
+        "disk-write-cache"
+    } else if key.starts_with("memory/") {
+        "dimm-failure"
+    } else if key.starts_with("network/") && key.ends_with("/rate_gbps") {
+        "nic-downgrade"
+    } else if key.starts_with("bios/") {
+        "bios-version"
+    } else {
+        "description-mismatch"
+    }
+}
+
+/// Convert a nodecheck report into deduplicated diagnostics.
+pub(crate) fn nodecheck_diagnostics(
+    report: &ttt_nodecheck::CheckReport,
+) -> Vec<crate::report::Diagnostic> {
+    if !report.reachable {
+        return vec![crate::report::Diagnostic::new(
+            format!("node-dead@{}", report.node),
+            format!("{} does not answer probes", report.node),
+        )];
+    }
+    if !report.described {
+        return vec![crate::report::Diagnostic::new(
+            format!("undescribed@{}", report.node),
+            format!("{} is missing from the Reference API", report.node),
+        )];
+    }
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for m in &report.mismatches {
+        let sig = format!("{}@{}", probe_key_to_signature(&m.key), report.node);
+        if seen.insert(sig.clone()) {
+            out.push(crate::report::Diagnostic::new(
+                sig,
+                format!(
+                    "{}: {} (Reference API says {}, probed {})",
+                    report.node, m.key, m.expected, m.actual
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_mapping_covers_fault_kinds() {
+        assert_eq!(probe_key_to_signature("cpu/cstates"), "cpu-cstates");
+        assert_eq!(probe_key_to_signature("cpu/threads"), "cpu-ht");
+        assert_eq!(probe_key_to_signature("disk/sda/firmware"), "disk-firmware");
+        assert_eq!(probe_key_to_signature("disk/sdb/write_cache"), "disk-write-cache");
+        assert_eq!(probe_key_to_signature("memory/total_gb"), "dimm-failure");
+        assert_eq!(probe_key_to_signature("network/eth0/rate_gbps"), "nic-downgrade");
+        assert_eq!(probe_key_to_signature("bios/version"), "bios-version");
+        assert_eq!(probe_key_to_signature("gpu/count"), "description-mismatch");
+    }
+}

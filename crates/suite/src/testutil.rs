@@ -1,0 +1,122 @@
+//! Test harness for family unit tests: a small testbed with every service
+//! stood up, plus automatic node assignment per configuration.
+
+use crate::config::{Target, TestConfig};
+use crate::ctx::TestCtx;
+use crate::dispatch::run_test;
+use crate::report::TestReport;
+use rand::rngs::SmallRng;
+use ttt_kadeploy::{standard_images, Deployer, Environment};
+use ttt_kavlan::KavlanManager;
+use ttt_kwapi::MetricStore;
+use ttt_oar::OarServer;
+use ttt_refapi::RefApi;
+use ttt_sim::rng::stream_rng;
+use ttt_sim::{SimDuration, SimTime};
+use ttt_testbed::{NodeId, Testbed, TestbedBuilder};
+
+/// Everything needed to run one test config in isolation.
+pub struct Harness {
+    pub tb: Testbed,
+    pub refapi: RefApi,
+    pub oar: OarServer,
+    pub kavlan: KavlanManager,
+    pub kwapi: MetricStore,
+    pub deployer: Deployer,
+    pub images: Vec<Environment>,
+    /// Explicit node assignment; emptied means "derive from the config".
+    pub assigned: Vec<NodeId>,
+    pub now: SimTime,
+    pub rng: SmallRng,
+}
+
+impl Harness {
+    /// Build a small-testbed harness with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        let tb = TestbedBuilder::small().build();
+        let mut refapi = RefApi::new();
+        refapi.publish_from(&tb, SimTime::ZERO);
+        let oar = OarServer::new(&tb, refapi.latest().unwrap());
+        let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(1));
+        Harness {
+            tb,
+            refapi,
+            oar,
+            kavlan: KavlanManager::new(),
+            kwapi,
+            deployer: Deployer::default(),
+            images: standard_images(),
+            assigned: Vec::new(),
+            now: SimTime::from_hours(3),
+            rng: stream_rng(seed, "suite-harness"),
+        }
+    }
+
+    /// Derive a plausible OAR assignment for a configuration.
+    fn derive_assignment(&self, cfg: &TestConfig) -> Vec<NodeId> {
+        let alive = |n: &NodeId| self.tb.node(*n).condition.alive;
+        match &cfg.target {
+            Target::Cluster(c) | Target::ImageCluster { cluster: c, .. } => {
+                let nodes: Vec<NodeId> = self
+                    .tb
+                    .cluster_by_name(c)
+                    .map(|cl| cl.nodes.iter().copied().filter(alive).collect())
+                    .unwrap_or_default();
+                if cfg.family.hardware_centric() {
+                    nodes
+                } else {
+                    nodes.into_iter().take(1).collect()
+                }
+            }
+            Target::Site(s) => {
+                let site = self.tb.site_by_name(s).map(|s| s.id);
+                self.tb
+                    .nodes()
+                    .iter()
+                    .filter(|n| Some(n.site) == site && n.condition.alive)
+                    .map(|n| n.id)
+                    .take(2)
+                    .collect()
+            }
+            Target::Global => {
+                let mut out = Vec::new();
+                for site in self.tb.sites() {
+                    if let Some(&cid) = site.clusters.first() {
+                        if let Some(&nid) = self.tb.cluster(cid).nodes.first() {
+                            out.push(nid);
+                        }
+                    }
+                    if out.len() == 2 {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Run one configuration, deriving the assignment unless `assigned`
+    /// was set explicitly.
+    pub fn run(&mut self, cfg: &TestConfig) -> TestReport {
+        let assigned = if self.assigned.is_empty() {
+            self.derive_assignment(cfg)
+        } else {
+            self.assigned.clone()
+        };
+        let mut ctx = TestCtx {
+            tb: &mut self.tb,
+            refapi: &self.refapi,
+            oar: &self.oar,
+            kavlan: &mut self.kavlan,
+            kwapi: &mut self.kwapi,
+            deployer: &self.deployer,
+            images: &self.images,
+            assigned: &assigned,
+            now: self.now,
+            rng: &mut self.rng,
+        };
+        let report = run_test(cfg, &mut ctx);
+        self.now += report.duration;
+        report
+    }
+}

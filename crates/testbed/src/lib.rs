@@ -1,0 +1,39 @@
+//! # ttt-testbed — the simulated testbed substrate
+//!
+//! A stateful model of a Grid'5000-class testbed: 8 sites, 32 clusters,
+//! 894 nodes, 8490 cores in the paper-scale configuration, plus the network
+//! and power-monitoring topology, per-site infrastructure services, and a
+//! fault-injection engine reproducing the paper's bug catalogue (slides 13
+//! and 22): CPU setting drift, disk firmware/cache divergence, cabling
+//! mistakes, flaky services, random reboots, and more.
+//!
+//! The framework under test only ever observes the testbed through probes
+//! and service calls, so this substrate exercises exactly the code paths
+//! the real framework exercises on real hardware (see DESIGN.md §2).
+
+pub mod cluster;
+pub mod fault;
+pub mod gen;
+pub mod hardware;
+pub mod ids;
+pub mod node;
+pub mod perf;
+pub mod services;
+pub mod site;
+pub mod testbed;
+pub mod topology;
+pub mod validate;
+
+pub use cluster::Cluster;
+pub use fault::{Fault, FaultId, FaultInjector, FaultKind, FaultTarget, InjectorConfig};
+pub use gen::TestbedBuilder;
+pub use hardware::{
+    BiosSpec, CpuSpec, DiskInterface, DiskKind, DiskSpec, GpuSpec, IbSpec, MemSpec, NicSpec,
+    NodeHardware, Vendor,
+};
+pub use ids::{ClusterId, NodeId, PduId, SiteId, SwitchId};
+pub use node::{Node, NodeCondition};
+pub use services::{Service, ServiceError, ServiceKind};
+pub use site::Site;
+pub use testbed::Testbed;
+pub use validate::validate;

@@ -1,0 +1,598 @@
+//! The testbed aggregate: arenas of sites/clusters/nodes, topology,
+//! services, and the fault application/repair logic.
+
+use crate::cluster::Cluster;
+use crate::fault::{Fault, FaultId, FaultKind, FaultTarget};
+use crate::hardware::NodeHardware;
+use crate::ids::{ClusterId, NodeId, SiteId};
+use crate::node::Node;
+use crate::services::{Service, ServiceHealth, ServiceKind};
+use crate::site::Site;
+use crate::topology::Topology;
+use ttt_sim::SimTime;
+
+/// The whole simulated testbed.
+///
+/// All entity collections are dense arenas indexed by the typed ids, so
+/// lookups are O(1) and iteration is cache-friendly (the campaign
+/// orchestrator touches every node once per tick).
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    sites: Vec<Site>,
+    clusters: Vec<Cluster>,
+    nodes: Vec<Node>,
+    topology: Topology,
+    /// `services[site][i]` for `i` indexing [`ServiceKind::ALL`].
+    services: Vec<Vec<Service>>,
+    active: Vec<Fault>,
+    next_fault_id: u64,
+}
+
+impl Testbed {
+    /// Assemble a testbed from parts (used by the generator).
+    pub(crate) fn from_parts(
+        sites: Vec<Site>,
+        clusters: Vec<Cluster>,
+        nodes: Vec<Node>,
+        topology: Topology,
+    ) -> Self {
+        let services = sites
+            .iter()
+            .map(|_| ServiceKind::ALL.iter().map(|&k| Service::healthy(k)).collect())
+            .collect();
+        Testbed {
+            sites,
+            clusters,
+            nodes,
+            topology,
+            services,
+            active: Vec::new(),
+            next_fault_id: 0,
+        }
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One site by id.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// One cluster by id.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// One node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access (deployment engine, examples).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Look a cluster up by name.
+    pub fn cluster_by_name(&self, name: &str) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.name == name)
+    }
+
+    /// Look a node up by host name.
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Look a site up by name.
+    pub fn site_by_name(&self, name: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.name == name)
+    }
+
+    /// Total core count across the testbed.
+    pub fn total_cores(&self) -> u64 {
+        self.clusters.iter().map(|c| c.total_cores() as u64).sum()
+    }
+
+    /// The network/power topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access (KaVLAN, examples).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// One site service.
+    pub fn service(&self, site: SiteId, kind: ServiceKind) -> &Service {
+        let idx = ServiceKind::ALL.iter().position(|&k| k == kind).unwrap();
+        &self.services[site.index()][idx]
+    }
+
+    /// Mutable service access.
+    pub fn service_mut(&mut self, site: SiteId, kind: ServiceKind) -> &mut Service {
+        let idx = ServiceKind::ALL.iter().position(|&k| k == kind).unwrap();
+        &mut self.services[site.index()][idx]
+    }
+
+    /// Currently active (unrepaired) faults.
+    pub fn active_faults(&self) -> &[Fault] {
+        &self.active
+    }
+
+    /// The active fault with the given id, if any.
+    pub fn fault(&self, id: FaultId) -> Option<&Fault> {
+        self.active.iter().find(|f| f.id == id)
+    }
+
+    /// Active faults touching `node`.
+    pub fn faults_on_node(&self, node: NodeId) -> Vec<&Fault> {
+        self.active
+            .iter()
+            .filter(|f| match f.target {
+                FaultTarget::Node(n) => n == node,
+                FaultTarget::NodePair(a, b) => a == node || b == node,
+                FaultTarget::Service(..) => false,
+            })
+            .collect()
+    }
+
+    /// Apply a fault. Returns `None` when it would be a no-op (target
+    /// already carries an equivalent fault), in which case nothing changes.
+    pub fn apply_fault(
+        &mut self,
+        kind: FaultKind,
+        target: FaultTarget,
+        at: SimTime,
+    ) -> Option<Fault> {
+        if !self.apply_effect(kind, target) {
+            return None;
+        }
+        let fault = Fault {
+            id: FaultId(self.next_fault_id),
+            kind,
+            target,
+            injected_at: at,
+        };
+        self.next_fault_id += 1;
+        self.active.push(fault.clone());
+        Some(fault)
+    }
+
+    /// Repair (revert) an active fault. Returns false if the id is unknown.
+    pub fn repair(&mut self, id: FaultId) -> bool {
+        let Some(pos) = self.active.iter().position(|f| f.id == id) else {
+            return false;
+        };
+        let fault = self.active.remove(pos);
+        self.revert_effect(&fault);
+        true
+    }
+
+    /// Reference hardware for `node` (its cluster template).
+    pub fn reference_of(&self, node: NodeId) -> &NodeHardware {
+        &self.clusters[self.nodes[node.index()].cluster.index()].reference
+    }
+
+    /// Mutate the testbed according to `kind`; returns false for no-ops.
+    fn apply_effect(&mut self, kind: FaultKind, target: FaultTarget) -> bool {
+        match (kind, target) {
+            (FaultKind::DiskWriteCacheDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).disks.first().map(|d| d.write_cache);
+                let node = &mut self.nodes[n.index()];
+                match (node.hardware.disks.first_mut(), r) {
+                    (Some(d), Some(r)) if d.write_cache == r => {
+                        d.write_cache = !r;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            (FaultKind::DiskFirmwareDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).disks.first().map(|d| d.firmware.clone());
+                let node = &mut self.nodes[n.index()];
+                match (node.hardware.disks.first_mut(), r) {
+                    (Some(d), Some(r)) if d.firmware == r => {
+                        d.firmware = "GA63".to_string();
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            (FaultKind::CpuCStatesDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).cpu.cstates_enabled;
+                let cpu = &mut self.nodes[n.index()].hardware.cpu;
+                if cpu.cstates_enabled == r {
+                    cpu.cstates_enabled = !r;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::HyperthreadingDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).cpu.ht_enabled;
+                let cpu = &mut self.nodes[n.index()].hardware.cpu;
+                if cpu.ht_enabled == r {
+                    cpu.ht_enabled = !r;
+                    cpu.threads_per_core = if cpu.ht_enabled { 2 } else { 1 };
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::TurboDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).cpu.turbo_enabled;
+                let cpu = &mut self.nodes[n.index()].hardware.cpu;
+                if cpu.turbo_enabled == r {
+                    cpu.turbo_enabled = !r;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::BiosVersionDrift, FaultTarget::Node(n)) => {
+                let r = self.reference_of(n).bios.version.clone();
+                let bios = &mut self.nodes[n.index()].hardware.bios;
+                if bios.version == r {
+                    bios.version = format!("{r}-beta");
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::DimmFailure, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if (node.condition.failed_dimms as usize) < node.hardware.mem.dimms.len() {
+                    node.condition.failed_dimms += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::NicDowngrade, FaultTarget::Node(n)) => {
+                let r = self
+                    .reference_of(n)
+                    .primary_nic()
+                    .map(|nic| nic.rate_gbps);
+                let node = &mut self.nodes[n.index()];
+                match (
+                    node.hardware.nics.iter_mut().find(|nic| nic.mounted),
+                    r,
+                ) {
+                    (Some(nic), Some(r)) if nic.rate_gbps == r && r > 1 => {
+                        nic.rate_gbps = 1;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            (FaultKind::CablingSwap, FaultTarget::NodePair(a, b)) => {
+                if a == b
+                    || !self.topology.wiring_correct(a)
+                    || !self.topology.wiring_correct(b)
+                {
+                    false
+                } else {
+                    self.topology.swap_wattmeters(a, b);
+                    true
+                }
+            }
+            (FaultKind::KernelBootRace, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if node.condition.boot_delay_s == 0.0 {
+                    // Deterministic per-node delay in [40, 90) s.
+                    node.condition.boot_delay_s = 40.0 + (n.0 % 50) as f64;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::RandomReboots, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if node.condition.random_reboot_mtbf_h.is_none() {
+                    // The paper's spontaneously-rebooting cluster was bad
+                    // enough to be decommissioned: MTBF of two hours.
+                    node.condition.random_reboot_mtbf_h = Some(2.0);
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::OfedFlaky, FaultTarget::Node(n)) => {
+                let has_ib = self.nodes[n.index()].hardware.ib.is_some();
+                let node = &mut self.nodes[n.index()];
+                if has_ib && !node.condition.ofed_flaky {
+                    node.condition.ofed_flaky = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::ConsoleDead, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if !node.condition.console_dead {
+                    node.condition.console_dead = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::VlanPortStuck, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if !node.condition.vlan_port_stuck {
+                    node.condition.vlan_port_stuck = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::ServiceFlaky, FaultTarget::Service(site, svc)) => {
+                let s = self.service_mut(site, svc);
+                if matches!(s.health, ServiceHealth::Healthy) {
+                    s.health = ServiceHealth::Flaky { fail_prob: 0.25 };
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::ServiceDown, FaultTarget::Service(site, svc)) => {
+                let s = self.service_mut(site, svc);
+                if !matches!(s.health, ServiceHealth::Down) {
+                    s.health = ServiceHealth::Down;
+                    true
+                } else {
+                    false
+                }
+            }
+            (FaultKind::NodeDead, FaultTarget::Node(n)) => {
+                let node = &mut self.nodes[n.index()];
+                if node.condition.alive {
+                    node.condition.alive = false;
+                    true
+                } else {
+                    false
+                }
+            }
+            // Kind/target mismatch: reject rather than panic, the injector
+            // never produces these but library users could.
+            _ => false,
+        }
+    }
+
+    fn revert_effect(&mut self, fault: &Fault) {
+        match (fault.kind, fault.target) {
+            (FaultKind::CablingSwap, FaultTarget::NodePair(a, b)) => {
+                self.topology.swap_wattmeters(a, b);
+            }
+            (FaultKind::ServiceFlaky | FaultKind::ServiceDown, FaultTarget::Service(site, svc)) => {
+                self.service_mut(site, svc).health = ServiceHealth::Healthy;
+            }
+            (kind, FaultTarget::Node(n)) => {
+                let reference = self.reference_of(n).clone();
+                let node = &mut self.nodes[n.index()];
+                match kind {
+                    FaultKind::DiskWriteCacheDrift => {
+                        if let (Some(d), Some(r)) =
+                            (node.hardware.disks.first_mut(), reference.disks.first())
+                        {
+                            d.write_cache = r.write_cache;
+                        }
+                    }
+                    FaultKind::DiskFirmwareDrift => {
+                        if let (Some(d), Some(r)) =
+                            (node.hardware.disks.first_mut(), reference.disks.first())
+                        {
+                            d.firmware = r.firmware.clone();
+                        }
+                    }
+                    FaultKind::CpuCStatesDrift => {
+                        node.hardware.cpu.cstates_enabled = reference.cpu.cstates_enabled;
+                    }
+                    FaultKind::HyperthreadingDrift => {
+                        node.hardware.cpu.ht_enabled = reference.cpu.ht_enabled;
+                        node.hardware.cpu.threads_per_core = reference.cpu.threads_per_core;
+                    }
+                    FaultKind::TurboDrift => {
+                        node.hardware.cpu.turbo_enabled = reference.cpu.turbo_enabled;
+                    }
+                    FaultKind::BiosVersionDrift => {
+                        node.hardware.bios.version = reference.bios.version.clone();
+                    }
+                    FaultKind::DimmFailure => {
+                        node.condition.failed_dimms = node.condition.failed_dimms.saturating_sub(1);
+                    }
+                    FaultKind::NicDowngrade => {
+                        if let (Some(nic), Some(r)) = (
+                            node.hardware.nics.iter_mut().find(|nic| nic.mounted),
+                            reference.primary_nic(),
+                        ) {
+                            nic.rate_gbps = r.rate_gbps;
+                        }
+                    }
+                    FaultKind::KernelBootRace => node.condition.boot_delay_s = 0.0,
+                    FaultKind::RandomReboots => node.condition.random_reboot_mtbf_h = None,
+                    FaultKind::OfedFlaky => node.condition.ofed_flaky = false,
+                    FaultKind::ConsoleDead => node.condition.console_dead = false,
+                    FaultKind::VlanPortStuck => node.condition.vlan_port_stuck = false,
+                    FaultKind::NodeDead => node.condition.alive = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TestbedBuilder;
+
+    fn tb() -> Testbed {
+        TestbedBuilder::small().build()
+    }
+
+    #[test]
+    fn apply_then_repair_restores_reference() {
+        let mut tb = tb();
+        let n = tb.clusters()[0].nodes[0];
+        let before = tb.node(n).hardware.clone();
+        let f = tb
+            .apply_fault(FaultKind::CpuCStatesDrift, FaultTarget::Node(n), SimTime::ZERO)
+            .expect("fault applies");
+        assert_ne!(tb.node(n).hardware, before);
+        assert_eq!(tb.active_faults().len(), 1);
+        assert!(tb.repair(f.id));
+        assert_eq!(tb.node(n).hardware, before);
+        assert!(tb.active_faults().is_empty());
+    }
+
+    #[test]
+    fn double_application_is_noop() {
+        let mut tb = tb();
+        let n = tb.clusters()[0].nodes[0];
+        assert!(tb
+            .apply_fault(FaultKind::TurboDrift, FaultTarget::Node(n), SimTime::ZERO)
+            .is_some());
+        assert!(tb
+            .apply_fault(FaultKind::TurboDrift, FaultTarget::Node(n), SimTime::ZERO)
+            .is_none());
+        assert_eq!(tb.active_faults().len(), 1);
+    }
+
+    #[test]
+    fn repair_unknown_id_is_false() {
+        let mut tb = tb();
+        assert!(!tb.repair(FaultId(99)));
+    }
+
+    #[test]
+    fn cabling_swap_and_repair() {
+        let mut tb = tb();
+        let c = &tb.clusters()[0];
+        let (a, b) = (c.nodes[0], c.nodes[1]);
+        let f = tb
+            .apply_fault(
+                FaultKind::CablingSwap,
+                FaultTarget::NodePair(a, b),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(tb.topology().measured_node(a), b);
+        assert!(tb.repair(f.id));
+        assert_eq!(tb.topology().measured_node(a), a);
+        // Self-swap is rejected.
+        assert!(tb
+            .apply_fault(
+                FaultKind::CablingSwap,
+                FaultTarget::NodePair(a, a),
+                SimTime::ZERO
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn service_faults_change_health() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let f = tb
+            .apply_fault(
+                FaultKind::ServiceDown,
+                FaultTarget::Service(site, ServiceKind::ApiFrontend),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert!(matches!(
+            tb.service(site, ServiceKind::ApiFrontend).health,
+            ServiceHealth::Down
+        ));
+        tb.repair(f.id);
+        assert!(matches!(
+            tb.service(site, ServiceKind::ApiFrontend).health,
+            ServiceHealth::Healthy
+        ));
+    }
+
+    #[test]
+    fn ofed_requires_infiniband() {
+        let mut tb = tb();
+        let ib_node = tb.clusters().iter().find(|c| c.has_ib).unwrap().nodes[0];
+        let non_ib_node = tb.clusters().iter().find(|c| !c.has_ib).unwrap().nodes[0];
+        let ok = tb.apply_fault(FaultKind::OfedFlaky, FaultTarget::Node(ib_node), SimTime::ZERO);
+        let no = tb.apply_fault(
+            FaultKind::OfedFlaky,
+            FaultTarget::Node(non_ib_node),
+            SimTime::ZERO,
+        );
+        assert!(ok.is_some());
+        assert!(no.is_none());
+    }
+
+    #[test]
+    fn kind_target_mismatch_rejected() {
+        let mut tb = tb();
+        let n = tb.clusters()[0].nodes[0];
+        // Node kind with service target and vice versa must be no-ops.
+        assert!(tb
+            .apply_fault(
+                FaultKind::ServiceDown,
+                FaultTarget::Node(n),
+                SimTime::ZERO
+            )
+            .is_none());
+        let site = tb.sites()[0].id;
+        assert!(tb
+            .apply_fault(
+                FaultKind::TurboDrift,
+                FaultTarget::Service(site, ServiceKind::OarServer),
+                SimTime::ZERO
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn faults_on_node_filters() {
+        let mut tb = tb();
+        let c = &tb.clusters()[0];
+        let (a, b) = (c.nodes[0], c.nodes[1]);
+        tb.apply_fault(FaultKind::ConsoleDead, FaultTarget::Node(a), SimTime::ZERO);
+        tb.apply_fault(
+            FaultKind::CablingSwap,
+            FaultTarget::NodePair(a, b),
+            SimTime::ZERO,
+        );
+        tb.apply_fault(FaultKind::TurboDrift, FaultTarget::Node(b), SimTime::ZERO);
+        assert_eq!(tb.faults_on_node(a).len(), 2);
+        assert_eq!(tb.faults_on_node(b).len(), 2);
+    }
+
+    #[test]
+    fn dimm_failures_accumulate_and_repair() {
+        let mut tb = tb();
+        let n = tb.clusters()[0].nodes[0];
+        let full = tb.node(n).effective_memory_gb();
+        let f1 = tb
+            .apply_fault(FaultKind::DimmFailure, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        let _f2 = tb
+            .apply_fault(FaultKind::DimmFailure, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        assert!(tb.node(n).effective_memory_gb() < full);
+        assert_eq!(tb.node(n).condition.failed_dimms, 2);
+        tb.repair(f1.id);
+        assert_eq!(tb.node(n).condition.failed_dimms, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Experiment E10 (slide 13): "5% decrease in performance → wrong results
+//! → wrong conclusions → retracted paper?"
+//!
+//! A researcher benchmarks two algorithm variants on two "identical" nodes
+//! of the same cluster. One node silently has deep C-states enabled (a
+//! real Grid'5000 bug). The variant assigned to the degraded node loses
+//! the comparison even though it is actually faster — and the testing
+//! framework's `refapi` sweep is what catches the drift before the paper
+//! ships.
+//!
+//! Run with: `cargo run --release --example five_percent`
+
+use throughout::nodecheck::check_node;
+use throughout::refapi::describe;
+use throughout::sim::SimTime;
+use throughout::testbed::{perf, FaultKind, FaultTarget, TestbedBuilder};
+
+fn main() {
+    let mut tb = TestbedBuilder::paper_scale().build();
+    let desc = describe(&tb, 1, SimTime::ZERO);
+    let grisou = tb.cluster_by_name("grisou").unwrap();
+    let (node_a, node_b) = (grisou.nodes[0], grisou.nodes[1]);
+
+    // Ground truth: variant B is 3 % faster than variant A.
+    let speedup_b = 1.03;
+
+    // The silent bug: node B has C-states enabled (reference disables them).
+    tb.apply_fault(FaultKind::CpuCStatesDrift, FaultTarget::Node(node_b), SimTime::ZERO)
+        .unwrap();
+
+    let throughput = |n| perf::cpu_throughput(&tb.node(n).hardware.cpu);
+    let score_a = throughput(node_a) * 1.0; // variant A on node A
+    let score_b = throughput(node_b) * speedup_b; // variant B on node B
+
+    println!("ground truth : variant B is {:.0}% faster", (speedup_b - 1.0) * 100.0);
+    println!(
+        "node A ({}) : variant A scores {:.2}",
+        tb.node(node_a).name,
+        score_a
+    );
+    println!(
+        "node B ({}) : variant B scores {:.2}  <- degraded node (-3% from C-states)",
+        tb.node(node_b).name,
+        score_b
+    );
+    let measured_verdict = if score_b > score_a { "B wins" } else { "A wins" };
+    println!("measured verdict : {measured_verdict}   (true verdict: B wins)");
+    assert!(score_b < score_a, "the degraded node flips the conclusion");
+
+    // The framework's description check catches the drift.
+    let report = check_node(&tb, &desc, node_b);
+    assert!(!report.passed());
+    println!("\nwhat the testing framework reports before the paper ships:");
+    for m in &report.mismatches {
+        println!("  {}: {}", report.node, m);
+    }
+    println!("\nconclusion: a ~3% silent setting drift reverses an A/B comparison;");
+    println!("systematic description testing (refapi family) flags it first.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper-scale testbed, verify a node with
+//! g5k-checks, drift it, and watch the check catch the drift.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use throughout::nodecheck::check_node;
+use throughout::refapi::describe;
+use throughout::sim::SimTime;
+use throughout::testbed::{FaultKind, FaultTarget, TestbedBuilder};
+
+fn main() {
+    // 1. The testbed of the paper, slide 6.
+    let mut tb = TestbedBuilder::paper_scale().build();
+    println!(
+        "testbed: {} sites, {} clusters, {} nodes, {} cores",
+        tb.sites().len(),
+        tb.clusters().len(),
+        tb.nodes().len(),
+        tb.total_cores()
+    );
+
+    // 2. Publish the Reference API description (slide 7).
+    let desc = describe(&tb, 1, SimTime::ZERO);
+    println!(
+        "reference API v{} describes {} nodes",
+        desc.version,
+        desc.node_count()
+    );
+
+    // 3. A pristine node passes g5k-checks.
+    let node = tb.cluster_by_name("grisou").unwrap().nodes[0];
+    let report = check_node(&tb, &desc, node);
+    println!(
+        "g5k-checks on {}: {}",
+        report.node,
+        if report.passed() { "OK" } else { "MISMATCH" }
+    );
+    assert!(report.passed());
+
+    // 4. A maintenance mistake disables deep C-states on that node —
+    //    the paper's canonical subtle bug (slide 13).
+    tb.apply_fault(FaultKind::CpuCStatesDrift, FaultTarget::Node(node), SimTime::ZERO)
+        .expect("fault applies");
+
+    // 5. g5k-checks now reports exactly what drifted.
+    let report = check_node(&tb, &desc, node);
+    assert!(!report.passed());
+    for m in &report.mismatches {
+        println!("  drift on {}: {}", report.node, m);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: campaign-level invariants that no single crate
+//! can check alone.
+
+use throughout::core::{Campaign, CampaignConfig, SchedulingMode};
+use throughout::sim::{SimDuration, SimTime};
+use throughout::status::success_series;
+
+#[test]
+fn campaign_preserves_testbed_invariants() {
+    // Months of faults, repairs and deployments must leave the testbed
+    // structurally sound (cross-references, wattmeter bijection, names).
+    let mut c = Campaign::new(CampaignConfig::small(100));
+    c.run();
+    throughout::testbed::validate(c.testbed()).expect("testbed invariants");
+}
+
+#[test]
+fn ci_history_agrees_with_campaign_metrics() {
+    let mut c = Campaign::new(CampaignConfig::small(101));
+    c.run();
+    let views = c.ci_views();
+    let finished: u64 = views
+        .iter()
+        .flat_map(|v| &v.builds)
+        .filter(|b| b.result.is_some())
+        .count() as u64;
+    let m = c.metrics();
+    // Every completed test and every unstable build is a finished CI build.
+    assert_eq!(finished, m.tests_run + m.unstable_builds);
+}
+
+#[test]
+fn status_grid_matches_success_ratio() {
+    let mut c = Campaign::new(CampaignConfig::small(102));
+    c.run();
+    let grid = c.status_grid();
+    let m = c.metrics();
+    // The grid counts unstable builds too; both ratios must land in the
+    // same ballpark and the grid can never exceed the test-only ratio.
+    assert!(grid.overall_ratio() <= m.success_ratio() + 1e-9);
+    assert!(grid.overall_ratio() > 0.3);
+}
+
+#[test]
+fn every_filed_bug_has_a_plausible_signature() {
+    let mut c = Campaign::new(CampaignConfig::small(103));
+    c.run();
+    for bug in c.tracker().bugs() {
+        assert!(
+            bug.signature.contains('@'),
+            "free-floating signature: {}",
+            bug.signature
+        );
+        assert!(bug.reports >= 1);
+        assert!(bug.last_seen >= bug.first_seen);
+    }
+}
+
+#[test]
+fn fixed_bugs_faults_are_gone() {
+    let mut cfg = CampaignConfig::small(104);
+    cfg.injector = throughout::testbed::InjectorConfig::quiescent();
+    cfg.initial_fault_burden = 5;
+    cfg.duration = SimDuration::from_days(28);
+    cfg.operator_capacity_per_week = 10.0;
+    let mut c = Campaign::new(cfg);
+    c.run();
+    // With no new arrivals and ample operator capacity, every detected
+    // fault should eventually be repaired.
+    for bug in c.tracker().bugs() {
+        if bug.state == throughout::bugs::BugState::Fixed {
+            assert!(
+                throughout::core::matching::find_fault(c.testbed(), &bug.signature).is_none(),
+                "fixed bug {} still has an active fault",
+                bug.signature
+            );
+        }
+    }
+    assert!(c.tracker().fixed() > 0);
+}
+
+#[test]
+fn success_rate_improves_on_a_decaying_fault_burden() {
+    // The E9 mechanism in miniature: initial burden, no new faults,
+    // operators fixing → later weeks beat the first week.
+    let mut cfg = CampaignConfig::small(105);
+    cfg.injector = throughout::testbed::InjectorConfig::quiescent();
+    cfg.initial_fault_burden = 6;
+    cfg.duration = SimDuration::from_days(28);
+    cfg.operator_capacity_per_week = 6.0;
+    let mut c = Campaign::new(cfg);
+    c.run();
+    let weekly = c.metrics().weekly_success.means();
+    assert!(weekly.len() >= 3, "need several weeks: {weekly:?}");
+    let first = weekly.first().unwrap().1;
+    let last = weekly.last().unwrap().1;
+    assert!(
+        last >= first,
+        "success rate should not degrade: {first:.2} -> {last:.2}"
+    );
+}
+
+#[test]
+fn naive_mode_holds_executors_longer() {
+    let run = |mode| {
+        let mut cfg = CampaignConfig::small(106);
+        cfg.mode = mode;
+        cfg.duration = SimDuration::from_days(10);
+        cfg.user_load.peak_jobs_per_day = 80.0;
+        let mut c = Campaign::new(cfg);
+        c.run();
+        c.metrics().executor_busy.mean()
+    };
+    let external = run(SchedulingMode::External);
+    let naive = run(SchedulingMode::NaiveCron {
+        period: SimDuration::from_days(1),
+    });
+    // The blocking baseline keeps executors busier per completed test.
+    assert!(
+        naive >= external,
+        "naive {naive:.3} should be >= external {external:.3}"
+    );
+}
+
+#[test]
+fn success_series_from_views_is_populated() {
+    let mut c = Campaign::new(CampaignConfig::small(107));
+    c.run_until(SimTime::from_days(7));
+    let series = success_series(&c.ci_views(), SimDuration::from_days(1));
+    assert!(!series.means().is_empty());
+    for (_, mean) in series.means() {
+        assert!((0.0..=1.0).contains(&mean));
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration: the Matrix-Reloaded retry loop converges.
+//!
+//! Slide 15: "Matrix Reloaded: retry subset of configurations in Matrix
+//! jobs". This test runs the full 448-cell environments matrix against a
+//! testbed with a few broken nodes, then drives retry rounds: each round
+//! re-enqueues only the failed cells, repairs one fault between rounds
+//! (operators at work), and the matrix must converge to all-green.
+
+use throughout::ci::{failed_cells, Axis, BuildResult, Cause, CiServer, JobKind, JobSpec};
+use throughout::kadeploy::{standard_images, Deployer};
+use throughout::sim::rng::stream_rng;
+use throughout::sim::SimTime;
+use throughout::testbed::{FaultKind, FaultTarget, TestbedBuilder};
+
+#[test]
+fn matrix_reloaded_converges_as_faults_are_repaired() {
+    let mut tb = TestbedBuilder::small().build();
+    let images = standard_images();
+    let deployer = Deployer::default();
+    let mut rng = stream_rng(99, "matrix-reloaded");
+
+    // Two clusters have a dead first node: the matrix cells hitting those
+    // nodes fail their deployments.
+    let mut faults = Vec::new();
+    for cluster in ["alpha", "gamma"] {
+        let node = tb.cluster_by_name(cluster).unwrap().nodes[0];
+        faults.push(
+            tb.apply_fault(FaultKind::NodeDead, FaultTarget::Node(node), SimTime::ZERO)
+                .unwrap(),
+        );
+    }
+
+    let mut ci = CiServer::new(8);
+    let cluster_names: Vec<String> = tb.clusters().iter().map(|c| c.name.clone()).collect();
+    let image_names: Vec<String> = images.iter().map(|e| e.name.clone()).collect();
+    ci.register(JobSpec {
+        name: "environments".into(),
+        kind: JobKind::Matrix {
+            axes: vec![
+                Axis::new("cluster", cluster_names),
+                Axis::new("image", image_names),
+            ],
+        },
+        trigger: None,
+    });
+
+    // A "build" = deploy the cell's image on the first *described* node of
+    // the cell's cluster (broken nodes stay in the assignment — that is
+    // what fails).
+    let mut run_round = |ci: &mut CiServer, tb: &mut ttt_testbed::Testbed, rng: &mut _| {
+        loop {
+            let work = ci.assign();
+            if work.is_empty() {
+                break;
+            }
+            for item in work {
+                let cell = item.build.cell.clone().unwrap();
+                let mut cluster = "";
+                let mut image = "";
+                for part in cell.split(',') {
+                    if let Some(v) = part.strip_prefix("cluster=") {
+                        cluster = v;
+                    }
+                    if let Some(v) = part.strip_prefix("image=") {
+                        image = v;
+                    }
+                }
+                let node = tb.cluster_by_name(cluster).unwrap().nodes[0];
+                let env = images.iter().find(|e| e.name == image).unwrap();
+                let report = deployer.deploy(tb, env, &[node], rng);
+                let result = if report.success_ratio() == 1.0 {
+                    BuildResult::Success
+                } else {
+                    BuildResult::Failure
+                };
+                ci.finish(&item.build, result, vec![]);
+            }
+        }
+    };
+
+    // Round 1: full matrix (4 clusters × 14 images = 56 cells).
+    let triggered = ci.trigger("environments", Cause::Manual);
+    assert_eq!(triggered.len(), 56);
+    run_round(&mut ci, &mut tb, &mut rng);
+    let round1: Vec<Vec<_>> = vec![ci
+        .builds_of_number("environments", 1)
+        .into_iter()
+        .cloned()
+        .collect()];
+    let failed1: Vec<String> = failed_cells(&round1[0]).into_iter().map(String::from).collect();
+    // Exactly the 2 broken clusters × 14 images failed.
+    assert_eq!(failed1.len(), 28, "{failed1:?}");
+
+    // Operators repair one cluster; Matrix Reloaded retries only failures.
+    tb.repair(faults[0].id);
+    let retried = ci.trigger_cells("environments", Cause::Retry, &failed1);
+    assert_eq!(retried.len(), 28);
+    run_round(&mut ci, &mut tb, &mut rng);
+    let round2: Vec<_> = ci
+        .builds_of_number("environments", 2)
+        .into_iter()
+        .cloned()
+        .collect();
+    let failed2: Vec<String> = failed_cells(&round2).into_iter().map(String::from).collect();
+    assert_eq!(failed2.len(), 14, "only the still-broken cluster remains");
+    assert!(failed2.iter().all(|c| c.contains("cluster=gamma")));
+
+    // Second repair; final retry converges to green.
+    tb.repair(faults[1].id);
+    let retried = ci.trigger_cells("environments", Cause::Retry, &failed2);
+    assert_eq!(retried.len(), 14);
+    run_round(&mut ci, &mut tb, &mut rng);
+    let round3: Vec<_> = ci
+        .builds_of_number("environments", 3)
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(failed_cells(&round3).is_empty(), "matrix is green");
+
+    // History records all three rounds (56 + 28 + 14 builds).
+    assert_eq!(ci.history("environments").len(), 98);
+}

@@ -1,0 +1,138 @@
+//! Property tests on the OAR scheduler: invariants that must hold under
+//! arbitrary job streams.
+
+use proptest::prelude::*;
+use throughout::oar::{Expr, JobKind, JobState, OarServer, Queue, ResourceRequest};
+use throughout::refapi::describe;
+use throughout::sim::{SimDuration, SimTime};
+use throughout::testbed::TestbedBuilder;
+
+/// A compact encoding of one submitted job for the generator.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    cluster: Option<usize>,
+    nodes: u32,
+    walltime_mins: u64,
+    submit_offset_mins: u64,
+}
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        prop::option::of(0usize..4),
+        1u32..5,
+        10u64..240,
+        0u64..600,
+    )
+        .prop_map(|(cluster, nodes, walltime_mins, submit_offset_mins)| JobSpec {
+            cluster,
+            nodes,
+            walltime_mins,
+            submit_offset_mins,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the submission stream, (a) a node never carries two
+    /// running jobs at once, (b) assigned nodes always match the job's
+    /// filter, and (c) terminated jobs ran exactly their walltime or less.
+    #[test]
+    fn scheduler_invariants(jobs in prop::collection::vec(job_strategy(), 1..40)) {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let mut server = OarServer::new(&tb, &desc);
+        let cluster_names: Vec<String> =
+            tb.clusters().iter().map(|c| c.name.clone()).collect();
+
+        // Submit in time order.
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|j| j.submit_offset_mins);
+        let mut ids = Vec::new();
+        for spec in &sorted {
+            server.advance(SimTime::from_mins(spec.submit_offset_mins));
+            let filter = match spec.cluster {
+                Some(c) => Expr::eq("cluster", &cluster_names[c % cluster_names.len()]),
+                None => Expr::True,
+            };
+            let request = ResourceRequest::nodes(
+                filter,
+                spec.nodes,
+                SimDuration::from_mins(spec.walltime_mins),
+            );
+            if let Ok(id) = server.submit("prop", Queue::Default, JobKind::User, request) {
+                ids.push(id);
+            }
+        }
+
+        // Walk time forward in hour steps; at each instant the running
+        // jobs' assignments must be disjoint.
+        for h in 0..48u64 {
+            server.advance(SimTime::from_mins(600) + SimDuration::from_hours(h));
+            let mut seen = std::collections::HashSet::new();
+            for id in &ids {
+                let job = server.job(*id).unwrap();
+                if job.state == JobState::Running {
+                    for n in &job.assigned {
+                        prop_assert!(seen.insert(*n), "node {n} double-booked");
+                    }
+                }
+            }
+        }
+
+        // Post-hoc: every finished job respected its request.
+        server.advance(SimTime::from_days(30));
+        for id in &ids {
+            let job = server.job(*id).unwrap();
+            prop_assert!(job.state.is_final(), "{id} still {:?}", job.state);
+            if job.state == JobState::Terminated {
+                // Ran at most its walltime (early completion allowed).
+                let ran = job.runtime().unwrap();
+                prop_assert!(ran <= job.request.walltime);
+                // Assigned node count honoured the request.
+                let wanted: u32 = job
+                    .request
+                    .groups
+                    .iter()
+                    .filter_map(|g| g.node_count())
+                    .sum();
+                prop_assert_eq!(job.assigned.len() as u32, wanted);
+                // Every assigned node matches the group's filter (single
+                // group in this generator).
+                let filter = &job.request.groups[0].filter;
+                for n in &job.assigned {
+                    let props = server.properties(*n);
+                    prop_assert!(
+                        throughout::oar::eval::eval(filter, props),
+                        "node {n} violates filter {filter}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Waiting times are never negative and utilization stays in [0, 1].
+    #[test]
+    fn utilization_bounds(n_jobs in 1usize..30, seed_mins in 0u64..120) {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let mut server = OarServer::new(&tb, &desc);
+        for i in 0..n_jobs {
+            server.advance(SimTime::from_mins(seed_mins + i as u64 * 7));
+            let _ = server.submit(
+                "prop",
+                Queue::Default,
+                JobKind::User,
+                ResourceRequest::nodes(Expr::True, 2, SimDuration::from_hours(1)),
+            );
+            let u = server.utilization();
+            prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+        server.advance(SimTime::from_days(10));
+        for job in server.jobs().values() {
+            if let Some(w) = job.waiting_time() {
+                prop_assert!(w >= SimDuration::ZERO);
+            }
+        }
+    }
+}

