@@ -47,7 +47,7 @@ fn matrix_reloaded_converges_as_faults_are_repaired() {
     // A "build" = deploy the cell's image on the first *described* node of
     // the cell's cluster (broken nodes stay in the assignment — that is
     // what fails).
-    let mut run_round = |ci: &mut CiServer, tb: &mut ttt_testbed::Testbed, rng: &mut _| {
+    let run_round = |ci: &mut CiServer, tb: &mut ttt_testbed::Testbed, rng: &mut _| {
         loop {
             let work = ci.assign();
             if work.is_empty() {

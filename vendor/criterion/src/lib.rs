@@ -1,0 +1,326 @@
+//! Vendored minimal stand-in for `criterion` 0.5.
+//!
+//! Same call-site API (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `iter`, `iter_batched`, `BatchSize`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` with `harness = false`), but the
+//! measurement loop is simple: warm up briefly, then time a few batches and
+//! print the median ns/iter to stdout. No statistics engine, history, or
+//! HTML reports — those return when the real crate is swapped back in.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; accepted and ignored (every
+/// batch re-runs setup outside the timed section regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Names acceptable wherever criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    /// Measured median duration of one iteration, in nanoseconds.
+    measured_ns: f64,
+    /// Iterations per measured batch.
+    batch_iters: u64,
+    /// Measured batches (median taken over these).
+    batches: usize,
+}
+
+impl Bencher {
+    fn new(batch_iters: u64, batches: usize) -> Self {
+        Bencher {
+            measured_ns: f64::NAN,
+            batch_iters,
+            batches,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        for _ in 0..self.batch_iters.min(16) {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.batch_iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / self.batch_iters as f64);
+        }
+        self.measured_ns = median(&mut samples);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.batch_iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / self.batch_iters as f64);
+        }
+        self.measured_ns = median(&mut samples);
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let mut total = Duration::ZERO;
+            for _ in 0..self.batch_iters {
+                let mut input = setup();
+                let start = Instant::now();
+                black_box(routine(&mut input));
+                total += start.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / self.batch_iters as f64);
+        }
+        self.measured_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    batch_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 11,
+            batch_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn configure_from_args(mut self) -> Self {
+        // `cargo bench -- <filter>` filtering is not implemented.
+        if std::env::args().any(|a| a == "--quick") {
+            self.sample_size = 3;
+            self.batch_iters = 1;
+        }
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let samples = self.sample_size;
+        self.run_with(id, f, samples);
+    }
+
+    fn run_with<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F, samples: usize) {
+        let mut b = Bencher::new(self.batch_iters, samples);
+        f(&mut b);
+        if b.measured_ns.is_nan() {
+            println!("{id:<50} (no measurement)");
+        } else {
+            println!("{id:<50} time: [{}]", human_ns(b.measured_ns));
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks. Configuration set on the group
+/// stays scoped to it (as in real criterion) — it never leaks into the
+/// parent `Criterion`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-local override of the parent's sample size.
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let samples = self.samples();
+        self.criterion.run_with(&id, f, samples);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let samples = self.samples();
+        self.criterion.run_with(&id, |b| f(b, input), samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

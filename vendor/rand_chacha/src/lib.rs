@@ -1,0 +1,127 @@
+//! Vendored minimal stand-in for `rand_chacha`: ChaCha-based RNGs with the
+//! real ChaCha block function (RFC 8439 quarter-round), emitting the
+//! keystream as 64-bit words.
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr) => {
+        /// ChaCha keystream RNG with a fixed round count.
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread index into `buf`; 16 means exhausted.
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[0] = 0x6170_7865;
+                state[1] = 0x3320_646e;
+                state[2] = 0x7962_2d32;
+                state[3] = 0x6b20_6574;
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                state[14] = 0;
+                state[15] = 0;
+                let mut w = state;
+                for _ in 0..($rounds / 2) {
+                    // Column rounds.
+                    quarter(&mut w, 0, 4, 8, 12);
+                    quarter(&mut w, 1, 5, 9, 13);
+                    quarter(&mut w, 2, 6, 10, 14);
+                    quarter(&mut w, 3, 7, 11, 15);
+                    // Diagonal rounds.
+                    quarter(&mut w, 0, 5, 10, 15);
+                    quarter(&mut w, 1, 6, 11, 12);
+                    quarter(&mut w, 2, 7, 8, 13);
+                    quarter(&mut w, 3, 4, 9, 14);
+                }
+                for i in 0..16 {
+                    self.buf[i] = w[i].wrapping_add(state[i]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+                self.idx = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                if self.idx + 2 > 16 {
+                    self.refill();
+                }
+                let lo = self.buf[self.idx] as u64;
+                let hi = self.buf[self.idx + 1] as u64;
+                self.idx += 2;
+                lo | (hi << 32)
+            }
+
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let v = self.buf[self.idx];
+                self.idx += 1;
+                v
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buf: [0; 16],
+                    idx: 16,
+                }
+            }
+        }
+    };
+}
+
+fn quarter(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    w[a] = w[a].wrapping_add(w[b]);
+    w[d] = (w[d] ^ w[a]).rotate_left(16);
+    w[c] = w[c].wrapping_add(w[d]);
+    w[b] = (w[b] ^ w[c]).rotate_left(12);
+    w[a] = w[a].wrapping_add(w[b]);
+    w[d] = (w[d] ^ w[a]).rotate_left(8);
+    w[c] = w[c].wrapping_add(w[d]);
+    w[b] = (w[b] ^ w[c]).rotate_left(7);
+}
+
+chacha_rng!(ChaCha8Rng, 8);
+chacha_rng!(ChaCha12Rng, 12);
+chacha_rng!(ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn usable_via_rng_trait() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let v: u64 = rng.gen_range(0..10);
+        assert!(v < 10);
+    }
+}

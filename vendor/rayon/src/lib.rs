@@ -1,0 +1,138 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! Supports the `(range | vec).into_par_iter().map(f).collect()` shape with
+//! real parallelism: items are split into one contiguous chunk per
+//! available core and mapped on `std::thread::scope` threads, preserving
+//! input order in the collected output. No work stealing — fine for the
+//! coarse-grained, similar-cost tasks the workspace fans out.
+
+/// Number of worker threads used for fan-out.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` keeps working for generic code.
+pub trait ParallelIterator {}
+
+/// A pending parallel pipeline over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(|x| f(x)).run();
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel pipeline.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParallelIterator for ParMap<T, F> {}
+
+impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
+    fn run(self) -> Vec<O> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = current_num_threads().min(n);
+        let chunk = n.div_ceil(threads);
+        // Wrap each item so chunks can hand out owned values in order.
+        let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        let item = slot.take().expect("slot filled above");
+                        *dst = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|s| s.expect("all chunks completed"))
+            .collect()
+    }
+
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    pub fn for_each<G: Fn(O) + Sync>(self, g: G) {
+        for v in self.run() {
+            g(v);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

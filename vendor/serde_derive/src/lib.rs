@@ -1,0 +1,547 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro` token trees (no `syn`/`quote` available in
+//! this environment). Supports the shapes the workspace actually derives:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]`)
+//! - tuple structs (newtype = transparent, like real serde)
+//! - unit structs
+//! - enums with unit / tuple / struct variants, externally tagged
+//!   (`"Variant"`, `{"Variant": payload}`) like real serde's default
+//!
+//! Generics and every serde attribute other than `skip` are unsupported
+//! and produce a `compile_error!` so the gap is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Inspect an attribute body (the tokens inside `#[...]`). Returns
+/// `Ok(true)` for `serde(skip)`, `Ok(false)` for non-serde attributes, and
+/// `Err` for any other serde attribute — this stand-in supports only
+/// `skip`, and silently ignoring `rename`/`default`/... would diverge from
+/// real serde at runtime.
+fn classify_attr(group: &TokenStream) -> Result<bool, String> {
+    let mut it = group.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => {
+            let args: Vec<String> = inner.stream().into_iter().map(|t| t.to_string()).collect();
+            if args.len() == 1 && args[0] == "skip" {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "vendored serde_derive supports only #[serde(skip)], found #[serde({})]",
+                    args.join("")
+                ))
+            }
+        }
+        _ => Err("vendored serde_derive supports only #[serde(skip)]".to_string()),
+    }
+}
+
+/// Consume leading attributes from `toks[*i..]`, returning whether any was
+/// `#[serde(skip)]`. Unsupported serde attributes are an error.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut skip = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if classify_attr(&g.stream())? {
+                            skip = true;
+                        }
+                        *i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    Ok(skip)
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip type tokens until a top-level comma (tracking `<`/`>` depth; other
+/// bracket kinds arrive pre-grouped in the token tree). The `->` of fn
+/// types is skipped as a pair so its `>` doesn't count as a closer. Leaves
+/// `*i` *after* the comma, or at end of input.
+fn eat_type_and_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                if let Some(TokenTree::Punct(next)) = toks.get(*i + 1) {
+                    if next.as_char() == '>' {
+                        *i += 2;
+                        continue;
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        eat_type_and_comma(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return Ok(0);
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i)?;
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        eat_type_and_comma(&toks, &mut i);
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i)?;
+    eat_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics (type `{name}`)"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Named {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::Tuple {
+                    name,
+                    arity: count_tuple_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::Unit { name }),
+            other => Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found `{other:?}`")),
+            };
+            let vtoks: Vec<TokenTree> = body.into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < vtoks.len() {
+                eat_attrs(&vtoks, &mut j)?;
+                if j >= vtoks.len() {
+                    break;
+                }
+                let vname = match &vtoks[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, found `{other}`")),
+                };
+                j += 1;
+                let kind = match vtoks.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream())?)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Explicit discriminants (`= expr`) are not supported.
+                if let Some(TokenTree::Punct(p)) = vtoks.get(j) {
+                    if p.as_char() == '=' {
+                        return Err(format!(
+                            "vendored serde_derive does not support explicit discriminants \
+                             (variant `{vname}`)"
+                        ));
+                    }
+                }
+                if let Some(TokenTree::Punct(p)) = vtoks.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Named { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =
+                            ::std::vec::Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(__m)
+                    }}
+                }}"
+            )
+        }
+        Input::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{ {body} }}
+                }}"
+            )
+        }
+        Input::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        // Bind only serialized fields; `..` swallows skipped
+                        // ones so they don't trip unused_variables.
+                        let mut binds: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|n| {
+                                format!(
+                                    "({n:?}.to_string(), ::serde::Serialize::to_value({n}))"
+                                )
+                            })
+                            .collect();
+                        if fields.iter().any(|f| f.skip) {
+                            binds.push("..".to_string());
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::Deserialize::from_value(::serde::get_field(__v, {:?})?)?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Input::Tuple { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::Error::new(
+                         format!(\"expected array for `{name}`, got {{}}\", __v.kind())))?;
+                     if __a.len() != {arity} {{
+                         return ::std::result::Result::Err(::serde::Error::new(
+                             format!(\"expected {arity} elements for `{name}`, got {{}}\", __a.len())));
+                     }}
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}
+                }}"
+            )
+        }
+        Input::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_: &::serde::Value)
+                    -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept the externally-tagged object form.
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__p)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __a = __p.as_array().ok_or_else(|| ::serde::Error::new(
+                                     format!(\"expected array payload for `{name}::{vn}`\")))?;
+                                 if __a.len() != {arity} {{
+                                     return ::std::result::Result::Err(::serde::Error::new(
+                                         format!(\"expected {arity} elements for `{name}::{vn}`\")));
+                                 }}
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("{vn:?} => {body},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{}: ::serde::Deserialize::from_value(\
+                                     ::serde::get_field(__p, {:?})?)?,\n",
+                                    f.name, f.name
+                                ));
+                            }
+                        }
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error> {{
+                        match __v {{
+                            ::serde::Value::String(__s) => match __s.as_str() {{
+                                {unit_arms}
+                                __other => ::std::result::Result::Err(::serde::Error::new(
+                                    format!(\"unknown variant `{{__other}}` for `{name}`\"))),
+                            }},
+                            ::serde::Value::Object(__o) if __o.len() == 1 => {{
+                                let (__k, __p) = &__o[0];
+                                let _ = __p; // unused when every variant is unit-like
+                                match __k.as_str() {{
+                                    {payload_arms}
+                                    __other => ::std::result::Result::Err(::serde::Error::new(
+                                        format!(\"unknown variant `{{__other}}` for `{name}`\"))),
+                                }}
+                            }}
+                            __other => ::std::result::Result::Err(::serde::Error::new(
+                                format!(\"expected enum value for `{name}`, got {{}}\",
+                                        __other.kind()))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+// For unit variants deserialized from the object form, `__p` is unused; the
+// generated arm ignores it by construction (no `__p` reference).
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
