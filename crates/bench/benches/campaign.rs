@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use ttt_core::scenario::scheduling_scenario;
-use ttt_core::{Campaign, CampaignConfig, SchedulingMode};
+use ttt_core::{Campaign, CampaignConfig, Engine, SchedulingMode};
 use ttt_sim::SimDuration;
 
 fn bench_small_campaign(c: &mut Criterion) {
@@ -30,23 +30,70 @@ fn bench_small_campaign(c: &mut Criterion) {
 fn bench_paper_scale_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign/paper_scale");
     group.sample_size(10);
-    group.bench_function("one_day", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = scheduling_scenario(42, SchedulingMode::External);
-                cfg.duration = SimDuration::from_days(1);
-                cfg
-            },
-            |cfg| {
-                let mut campaign = Campaign::new(cfg);
-                campaign.run();
-                black_box(campaign.metrics().tests_run)
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    for (name, engine) in [
+        ("one_day", Engine::NextEvent),
+        ("one_day_lockstep", Engine::Lockstep),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = scheduling_scenario(42, SchedulingMode::External);
+                    cfg.duration = SimDuration::from_days(1);
+                    cfg.engine = engine;
+                    cfg
+                },
+                |cfg| {
+                    let mut campaign = Campaign::new(cfg);
+                    campaign.run();
+                    black_box(campaign.metrics().tests_run)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_small_campaign, bench_paper_scale_day);
+fn bench_quiet_month(c: &mut Criterion) {
+    // The next-event engine's home turf: a quiet paper-scale month (no
+    // tests, no faults, no users) on a fine one-minute decision grid. The
+    // lockstep engine grinds through 43 200 ticks; the next-event engine
+    // wakes only on metric/operator cadences — its cost is independent of
+    // tick resolution.
+    let mut group = c.benchmark_group("campaign/quiet_month");
+    group.sample_size(10);
+    for (name, engine) in [
+        ("next_event", Engine::NextEvent),
+        ("lockstep", Engine::Lockstep),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ttt_core::scenario::no_testing_scenario(42);
+                    cfg.injector = ttt_testbed::InjectorConfig::quiescent();
+                    cfg.initial_fault_burden = 0;
+                    cfg.user_load.peak_jobs_per_day = 0.0;
+                    cfg.duration = SimDuration::from_days(30);
+                    cfg.tick = SimDuration::from_mins(1);
+                    cfg.engine = engine;
+                    cfg
+                },
+                |cfg| {
+                    let mut campaign = Campaign::new(cfg);
+                    campaign.run();
+                    black_box(campaign.metrics().tests_run)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_small_campaign,
+    bench_paper_scale_day,
+    bench_quiet_month
+);
 criterion_main!(benches);

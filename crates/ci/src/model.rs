@@ -92,11 +92,11 @@ pub struct CronTrigger {
 }
 
 impl CronTrigger {
-    /// Instants in `(after, until]` when the trigger fires.
-    pub fn firings(&self, after: SimTime, until: SimTime) -> Vec<SimTime> {
-        let mut out = Vec::new();
+    /// The first firing strictly after `after`, or `None` for a dormant
+    /// (zero-period) trigger.
+    pub fn next_firing(&self, after: SimTime) -> Option<SimTime> {
         if self.period.is_zero() {
-            return out;
+            return None;
         }
         let period = self.period.as_nanos();
         let offset = self.offset.as_nanos();
@@ -107,7 +107,17 @@ impl CronTrigger {
         } else {
             (after_n - offset) / period + 1
         };
-        let mut t = offset + k * period;
+        Some(SimTime::from_nanos(offset + k * period))
+    }
+
+    /// Instants in `(after, until]` when the trigger fires.
+    pub fn firings(&self, after: SimTime, until: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let Some(first) = self.next_firing(after) else {
+            return out;
+        };
+        let period = self.period.as_nanos();
+        let mut t = first.as_nanos();
         while t <= until.as_nanos() {
             out.push(SimTime::from_nanos(t));
             t += period;

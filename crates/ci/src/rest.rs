@@ -60,11 +60,14 @@ impl JobView {
         }
     }
 
-    /// Extract every job's view (the full API dump).
+    /// Extract every job's view (the full API dump), in registration order
+    /// — a stable, run-to-run deterministic order, so status-page rows
+    /// never shuffle between identical campaigns. (Histories only exist
+    /// for registered jobs, so registration order covers everything.)
     pub fn all_from_server(server: &CiServer) -> Vec<JobView> {
         server
-            .all_history()
-            .keys()
+            .job_names_in_order()
+            .iter()
             .map(|j| JobView::from_server(server, j))
             .collect()
     }
@@ -108,5 +111,37 @@ mod tests {
         let views = JobView::all_from_server(&s);
         assert_eq!(views.len(), 3);
         assert!(views.iter().all(|v| v.builds.is_empty()));
+    }
+
+    #[test]
+    fn all_from_server_is_registration_ordered_and_stable() {
+        // Regression: row order used to depend on map iteration; it must
+        // be the registration order, identically across runs.
+        let build = || {
+            let mut s = CiServer::new(1);
+            for name in ["zeta", "alpha", "mid"] {
+                s.register(JobSpec {
+                    name: name.into(),
+                    kind: JobKind::Freestyle,
+                    trigger: None,
+                });
+            }
+            s
+        };
+        let names = |s: &CiServer| -> Vec<String> {
+            JobView::all_from_server(s).into_iter().map(|v| v.name).collect()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(names(&a), vec!["zeta", "alpha", "mid"]);
+        assert_eq!(names(&a), names(&b));
+        // Re-registering keeps the original position.
+        let mut c = build();
+        c.register(JobSpec {
+            name: "alpha".into(),
+            kind: JobKind::Freestyle,
+            trigger: None,
+        });
+        assert_eq!(names(&c), vec!["zeta", "alpha", "mid"]);
     }
 }

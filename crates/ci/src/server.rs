@@ -27,6 +27,9 @@ pub struct WorkItem {
 /// The automation server.
 pub struct CiServer {
     jobs: BTreeMap<String, JobSpec>,
+    /// Job names in registration order — the stable order REST views and
+    /// the status page present jobs in.
+    registration_order: Vec<String>,
     queue: VecDeque<(BuildRef, Cause)>,
     executors: Vec<Option<BuildRef>>,
     /// Full build history per job, in creation order.
@@ -45,6 +48,7 @@ impl CiServer {
         assert!(executors > 0, "need at least one executor");
         CiServer {
             jobs: BTreeMap::new(),
+            registration_order: Vec::new(),
             queue: VecDeque::new(),
             executors: vec![None; executors],
             history: BTreeMap::new(),
@@ -54,16 +58,26 @@ impl CiServer {
         }
     }
 
-    /// Register (or replace) a job definition.
+    /// Register (or replace) a job definition. Replacement keeps the
+    /// original registration position.
     pub fn register(&mut self, spec: JobSpec) {
         self.history.entry(spec.name.clone()).or_default();
         self.next_number.entry(spec.name.clone()).or_insert(1);
+        if !self.jobs.contains_key(&spec.name) {
+            self.registration_order.push(spec.name.clone());
+        }
         self.jobs.insert(spec.name.clone(), spec);
     }
 
-    /// Registered job names.
+    /// Registered job names (alphabetical).
     pub fn job_names(&self) -> Vec<&str> {
         self.jobs.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Registered job names in registration order — the stable presentation
+    /// order for REST views and the status page.
+    pub fn job_names_in_order(&self) -> &[String] {
+        &self.registration_order
     }
 
     /// A job definition.
@@ -74,6 +88,16 @@ impl CiServer {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The earliest cron firing strictly after the last trigger scan, if
+    /// any job has a cron trigger. Event-driven orchestrators use this to
+    /// know when [`CiServer::advance`] next has work to do.
+    pub fn next_cron_firing(&self) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter_map(|spec| spec.trigger?.next_firing(self.last_trigger_scan))
+            .min()
     }
 
     /// Advance time, firing cron triggers in `(last_scan, to]`.

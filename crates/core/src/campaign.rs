@@ -1,6 +1,18 @@
 //! The campaign orchestrator: everything wired together over virtual time.
+//!
+//! Two drivers advance the campaign (see [`Engine`]): the default
+//! next-event engine computes the earliest due instant across every
+//! subsystem — test completions, naive-cron due dates, rollout phases,
+//! scheduler re-examination times, fault/user-load arrivals, operator and
+//! metric cadences, OAR job starts/ends and planning-horizon entries — and
+//! jumps straight to it (snapped to the decision grid), while the legacy
+//! lockstep engine processes every grid tick. Both run the same per-instant
+//! step in the same phase order, every stochastic stream draws at the same
+//! instants, and all suite-wide work is gated on due events, so the two
+//! engines produce bit-identical campaigns (guarded by the
+//! `engine_equivalence` integration suite).
 
-use crate::config::{CampaignConfig, SchedulingMode, TestbedScale};
+use crate::config::{CampaignConfig, Engine, SchedulingMode, TestbedScale};
 use crate::matching::find_fault;
 use crate::metrics::CampaignMetrics;
 use rand::rngs::SmallRng;
@@ -17,18 +29,18 @@ use ttt_oar::{
     UserLoadGenerator,
 };
 use ttt_refapi::RefApi;
-use ttt_sim::{RngFactory, SimDuration, SimTime};
+use ttt_sim::{EventQueue, RngFactory, SimDuration, SimTime};
 use ttt_status::StatusGrid;
 use ttt_suite::{build_suite, run_test, TestConfig, TestCtx, TestReport};
 use ttt_testbed::fault::inject_random;
 use ttt_testbed::{FaultInjector, FaultKind, Testbed, TestbedBuilder};
 
-/// A test currently executing on the testbed.
+/// A test currently executing on the testbed (completion time is the
+/// event-queue key).
 struct RunningTest {
     build: BuildRef,
     suite_idx: usize,
     oar_job: OarJobId,
-    finish_at: SimTime,
     report: TestReport,
 }
 
@@ -57,13 +69,22 @@ pub struct Campaign {
     operators: OperatorModel,
     metrics: CampaignMetrics,
     suite: Vec<TestConfig>,
-    /// `(ci job, cell)` → suite index.
-    by_key: HashMap<(String, Option<String>), usize>,
+    /// Precomputed `suite[i].id()` strings (scheduler callback keys).
+    suite_ids: Vec<String>,
+    /// ci job → cell → suite index (nested so lookups borrow, not clone).
+    by_key: HashMap<String, HashMap<Option<String>, usize>>,
     enabled: Vec<bool>,
     /// Naive mode: per-configuration next-due times.
     naive_due: Vec<SimTime>,
+    /// Naive mode: suite indices keyed by due instant (superseded entries
+    /// skipped lazily), so a trigger pass costs O(due), not O(suite).
+    naive_queue: EventQueue<usize>,
+    /// Scratch buffer of due suite indices reused across trigger passes.
+    naive_scratch: Vec<usize>,
     next_phase: usize,
-    running: Vec<RunningTest>,
+    /// In-flight tests keyed by `finish_at` — completions pop in time
+    /// order instead of a per-tick sweep over a Vec.
+    running: EventQueue<RunningTest>,
     blocked: Vec<BlockedWork>,
     rng_inject: SmallRng,
     rng_user: SmallRng,
@@ -71,6 +92,10 @@ pub struct Campaign {
     rng_test: SmallRng,
     now: SimTime,
     last_snapshot: SimTime,
+    /// Last operator-model run (operators act on `operator_cadence`).
+    last_op_step: SimTime,
+    /// Last utilization sample (taken on `sample_cadence`).
+    last_sample: SimTime,
 }
 
 impl Campaign {
@@ -117,11 +142,14 @@ impl Campaign {
                 trigger: None,
             });
         }
-        let by_key = suite
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ((c.family.job_name().to_string(), c.cell()), i))
-            .collect();
+        let mut by_key: HashMap<String, HashMap<Option<String>, usize>> = HashMap::new();
+        for (i, c) in suite.iter().enumerate() {
+            by_key
+                .entry(c.family.job_name().to_string())
+                .or_default()
+                .insert(c.cell(), i);
+        }
+        let suite_ids: Vec<String> = suite.iter().map(|c| c.id()).collect();
         let clusters = tb.clusters().iter().map(|c| c.name.clone()).collect();
         let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(5));
         let n = suite.len();
@@ -145,14 +173,19 @@ impl Campaign {
             tracker: BugTracker::new(),
             metrics: CampaignMetrics::default(),
             suite,
+            suite_ids,
             by_key,
             enabled: vec![false; n],
             naive_due: vec![SimTime::ZERO; n],
+            naive_queue: EventQueue::new(),
+            naive_scratch: Vec::new(),
             next_phase: 0,
-            running: Vec::new(),
+            running: EventQueue::new(),
             blocked: Vec::new(),
             now: SimTime::ZERO,
             last_snapshot: SimTime::ZERO,
+            last_op_step: SimTime::ZERO,
+            last_sample: SimTime::ZERO,
             cfg,
         }
     }
@@ -175,6 +208,11 @@ impl Campaign {
     /// The external scheduler (decision counters live here).
     pub fn scheduler(&self) -> &ExternalScheduler {
         &self.sched
+    }
+
+    /// The OAR server (inspection from examples/benches).
+    pub fn oar(&self) -> &OarServer {
+        &self.oar
     }
 
     /// Current virtual time.
@@ -200,11 +238,91 @@ impl Campaign {
     }
 
     /// Advance the campaign to `until` (idempotent if already past).
+    ///
+    /// The lockstep engine walks the decision grid one tick at a time; the
+    /// next-event engine asks every subsystem for its earliest due instant
+    /// and jumps to it (snapped up to the same grid), skipping the quiet
+    /// ticks entirely. Both process identical instants whenever anything is
+    /// due, so campaigns are bit-identical across engines.
     pub fn run_until(&mut self, until: SimTime) {
-        while self.now < until {
-            let t = (self.now + self.cfg.tick).min(until);
-            self.step_to(t);
+        match self.cfg.engine {
+            Engine::Lockstep => {
+                while self.now < until {
+                    let t = (self.now + self.cfg.tick).min(until);
+                    self.step_to(t);
+                }
+            }
+            Engine::NextEvent => {
+                // The grid is anchored where this call starts, exactly like
+                // the lockstep `now + k*tick` sequence.
+                let anchor = self.now;
+                let tick = self.cfg.tick.as_nanos().max(1);
+                while self.now < until {
+                    let t = match self.next_wake() {
+                        Some(wake) => {
+                            // Smallest grid instant that is > now and ≥ wake.
+                            let wake = wake.max(self.now + SimDuration::from_nanos(1));
+                            let off = wake.as_nanos().saturating_sub(anchor.as_nanos());
+                            let k = off.div_ceil(tick);
+                            (anchor + SimDuration::from_nanos(k.saturating_mul(tick))).min(until)
+                        }
+                        // Nothing pending anywhere: jump to the end.
+                        None => until,
+                    };
+                    self.step_to(t);
+                }
+            }
         }
+    }
+
+    /// The earliest instant at which any subsystem has work to do, from
+    /// the campaign's current instant. `None` means the world is quiet
+    /// until the horizon.
+    fn next_wake(&mut self) -> Option<SimTime> {
+        let mut wake: Option<SimTime> = None;
+        let merge = |t: Option<SimTime>, wake: &mut Option<SimTime>| {
+            *wake = match (*wake, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        // Test completions.
+        merge(self.running.peek_time(), &mut wake);
+        // OAR job starts/ends and planning-horizon re-plan instants.
+        merge(self.oar.next_event_time(), &mut wake);
+        // User-load candidate arrivals (primed with advance's own draw).
+        merge(
+            self.userload.next_event(self.oar.now(), &mut self.rng_user),
+            &mut wake,
+        );
+        // Fault and maintenance arrivals.
+        merge(self.injector.next_event(&mut self.rng_inject), &mut wake);
+        // CI cron triggers (none in campaign configs, but kept honest).
+        merge(self.ci.next_cron_firing(), &mut wake);
+        // Scheduling decisions.
+        match self.cfg.mode {
+            SchedulingMode::External => merge(self.sched.next_due_time(), &mut wake),
+            SchedulingMode::NaiveCron { .. } => merge(self.peek_naive_due(), &mut wake),
+        }
+        // Rollout phases.
+        merge(
+            self.cfg.rollout.phases.get(self.next_phase).map(|p| p.0),
+            &mut wake,
+        );
+        // Testbed alive-state changed since the last sync (operator repairs
+        // land between syncs): reconcile on the very next grid instant,
+        // exactly when the lockstep engine would.
+        if !self.tb.alive_dirty().is_empty() {
+            merge(Some(self.now + SimDuration::from_nanos(1)), &mut wake);
+        }
+        // Operator and metrics cadences.
+        merge(Some(self.last_op_step + self.cfg.operator_cadence), &mut wake);
+        merge(Some(self.last_sample + self.cfg.sample_cadence), &mut wake);
+        merge(
+            Some(self.last_snapshot + SimDuration::from_days(1)),
+            &mut wake,
+        );
+        wake
     }
 
     fn step_to(&mut self, t: SimTime) {
@@ -214,20 +332,24 @@ impl Campaign {
         self.oar.advance(t);
         // 2. Faults arrive.
         self.injector.advance(t, &mut self.tb, &mut self.rng_inject);
-        // 3. OAR notices dead/repaired hardware.
-        self.oar.sync_node_states(&self.tb);
+        // 3. OAR notices dead/repaired hardware (diff of flipped nodes
+        //    only — no full testbed rescan).
+        let dirty = self.tb.take_alive_dirty();
+        self.oar.sync_dirty_nodes(&self.tb, &dirty);
         // 4. New test families roll out.
         self.apply_rollout(t);
         // 5. Finish tests whose virtual duration elapsed.
         self.complete_due(t);
         // 6. Naive baseline: blocked builds whose OAR job finally started.
-        self.poll_blocked(t);
-        // 7. Scheduling decisions.
+        if !self.blocked.is_empty() {
+            self.poll_blocked(t);
+        }
+        // 7. Scheduling decisions (due entries only).
         self.ci.advance(t);
         match self.cfg.mode {
             SchedulingMode::External => {
                 self.sched
-                    .tick(t, &mut self.ci, &self.oar, &mut self.rng_sched);
+                    .run_due(t, &mut self.ci, &self.oar, &mut self.rng_sched);
             }
             SchedulingMode::NaiveCron { period } => self.naive_trigger(t, period),
         }
@@ -236,20 +358,26 @@ impl Campaign {
         for item in work {
             self.start_work(item, t);
         }
-        // 9. Operators fix bugs, repairing the underlying faults.
-        let fixed = self.operators.step(&mut self.tracker, t);
-        for bug_id in fixed {
-            if let Some(bug) = self.tracker.bug(bug_id) {
-                if let Some(fault) = find_fault(&self.tb, &bug.signature.clone()) {
-                    self.tb.repair(fault.id);
+        // 9. Operators fix bugs on their cadence, repairing faults.
+        if t.since(self.last_op_step) >= self.cfg.operator_cadence {
+            self.last_op_step = t;
+            let fixed = self.operators.step(&mut self.tracker, t);
+            for bug_id in fixed {
+                if let Some(bug) = self.tracker.bug(bug_id) {
+                    if let Some(fault) = find_fault(&self.tb, &bug.signature.clone()) {
+                        self.tb.repair(fault.id);
+                    }
                 }
             }
         }
-        // 10. Metrics sampling.
-        self.metrics
-            .executor_busy
-            .push(self.ci.busy_executors() as f64 / self.ci.executor_count() as f64);
-        self.metrics.oar_utilization.push(self.oar.utilization());
+        // 10. Metrics sampling on a bounded cadence.
+        if t.since(self.last_sample) >= self.cfg.sample_cadence {
+            self.last_sample = t;
+            self.metrics
+                .executor_busy
+                .push(self.ci.busy_executors() as f64 / self.ci.executor_count() as f64);
+            self.metrics.oar_utilization.push(self.oar.utilization());
+        }
         if t.since(self.last_snapshot) >= SimDuration::from_days(1) {
             self.last_snapshot = t;
             self.metrics
@@ -271,10 +399,12 @@ impl Campaign {
                     continue;
                 }
                 self.enabled[idx] = true;
-                self.naive_due[idx] = t;
-                if matches!(self.cfg.mode, SchedulingMode::External) {
-                    let entry = self.make_entry(idx);
-                    self.sched.add_entry(entry, t);
+                match self.cfg.mode {
+                    SchedulingMode::External => {
+                        let entry = self.make_entry(idx);
+                        self.sched.add_entry(entry, t);
+                    }
+                    SchedulingMode::NaiveCron { .. } => self.set_naive_due(idx, t),
                 }
             }
         }
@@ -311,24 +441,56 @@ impl Campaign {
         request
     }
 
-    /// Naive baseline: trigger every enabled configuration on a fixed cron
-    /// period, with no availability checks.
-    fn naive_trigger(&mut self, t: SimTime, period: SimDuration) {
-        for idx in 0..self.suite.len() {
-            if !self.enabled[idx] || self.naive_due[idx] > t {
-                continue;
+    /// Record a new naive-cron due date for a configuration and index it.
+    fn set_naive_due(&mut self, idx: usize, at: SimTime) {
+        self.naive_due[idx] = at;
+        self.naive_queue.push(at, idx);
+    }
+
+    /// The earliest live naive-cron due instant (skipping superseded
+    /// queue entries).
+    fn peek_naive_due(&mut self) -> Option<SimTime> {
+        while let Some((at, &idx)) = self.naive_queue.peek() {
+            if self.enabled[idx] && self.naive_due[idx] == at {
+                return Some(at);
             }
+            self.naive_queue.pop();
+        }
+        None
+    }
+
+    /// Naive baseline: trigger every due configuration on a fixed cron
+    /// period, with no availability checks. Due configurations come off
+    /// the due-date index in suite order (the order the old full scan
+    /// used); nothing else is touched.
+    fn naive_trigger(&mut self, t: SimTime, period: SimDuration) {
+        let mut due = std::mem::take(&mut self.naive_scratch);
+        due.clear();
+        {
+            let naive_due = &self.naive_due;
+            let enabled = &self.enabled;
+            due.extend(
+                self.naive_queue
+                    .drain_due_iter(t)
+                    .filter(|&(at, idx)| enabled[idx] && naive_due[idx] == at)
+                    .map(|(_, idx)| idx),
+            );
+        }
+        due.sort_unstable();
+        due.dedup();
+        for &idx in &due {
             let job = self.suite[idx].family.job_name().to_string();
             let cell = self.suite[idx].cell();
             let cells: Vec<String> = cell.into_iter().collect();
             let triggered = self.ci.trigger_cells(&job, Cause::Cron, &cells);
             if !triggered.is_empty() {
-                self.naive_due[idx] = t + period;
+                self.set_naive_due(idx, t + period);
             } else {
                 // Still pending in CI: check again next tick.
-                self.naive_due[idx] = t + self.cfg.tick;
+                self.set_naive_due(idx, t + self.cfg.tick);
             }
         }
+        self.naive_scratch = due;
     }
 
     /// An executor picked a build up: create the testbed job and either run
@@ -336,7 +498,8 @@ impl Campaign {
     fn start_work(&mut self, item: WorkItem, t: SimTime) {
         let Some(&idx) = self
             .by_key
-            .get(&(item.build.job.clone(), item.build.cell.clone()))
+            .get(item.build.job.as_str())
+            .and_then(|cells| cells.get(&item.build.cell))
         else {
             self.ci
                 .finish(&item.build, BuildResult::Aborted, vec!["unknown cell".into()]);
@@ -357,13 +520,13 @@ impl Campaign {
                     vec!["no eligible resources on the testbed".into()],
                 );
                 self.metrics.unstable_builds += 1;
-                let id = self.suite[idx].id();
                 match self.cfg.mode {
                     SchedulingMode::External => {
-                        self.sched.on_not_immediate(&id, t, &mut self.rng_sched)
+                        let id = &self.suite_ids[idx];
+                        self.sched.on_not_immediate(id, t, &mut self.rng_sched)
                     }
                     SchedulingMode::NaiveCron { period } => {
-                        self.naive_due[idx] = t + period;
+                        self.set_naive_due(idx, t + period);
                     }
                 }
                 return;
@@ -388,8 +551,8 @@ impl Campaign {
                     vec!["testbed job could not be scheduled immediately".into()],
                 );
                 self.metrics.unstable_builds += 1;
-                let id = self.suite[idx].id();
-                self.sched.on_not_immediate(&id, t, &mut self.rng_sched);
+                let id = &self.suite_ids[idx];
+                self.sched.on_not_immediate(id, t, &mut self.rng_sched);
             }
             SchedulingMode::NaiveCron { .. } => {
                 // Submit and wait, holding the executor.
@@ -434,8 +597,8 @@ impl Campaign {
             .job(oar_job)
             .map(|j| j.assigned.clone())
             .unwrap_or_default();
-        let cfg = self.suite[idx].clone();
         let report = {
+            let cfg = &self.suite[idx];
             let mut ctx = TestCtx {
                 tb: &mut self.tb,
                 refapi: &self.refapi,
@@ -448,31 +611,25 @@ impl Campaign {
                 now: t,
                 rng: &mut self.rng_test,
             };
-            run_test(&cfg, &mut ctx)
+            run_test(cfg, &mut ctx)
         };
-        let walltime = cfg.family.walltime();
+        let walltime = self.suite[idx].family.walltime();
         let finish_at = t + report.duration.min(walltime);
-        self.running.push(RunningTest {
-            build,
-            suite_idx: idx,
-            oar_job,
+        self.running.push(
             finish_at,
-            report,
-        });
+            RunningTest {
+                build,
+                suite_idx: idx,
+                oar_job,
+                report,
+            },
+        );
     }
 
+    /// Complete every test whose `finish_at` elapsed, earliest first (FIFO
+    /// among ties) — popped straight off the completion queue.
     fn complete_due(&mut self, t: SimTime) {
-        let mut due = Vec::new();
-        let mut still = Vec::new();
-        for r in std::mem::take(&mut self.running) {
-            if r.finish_at <= t {
-                due.push(r);
-            } else {
-                still.push(r);
-            }
-        }
-        self.running = still;
-        for r in due {
+        while let Some((_, r)) = self.running.pop_due(t) {
             self.oar.complete_early(r.oar_job);
             let result = if r.report.passed() {
                 BuildResult::Success
@@ -501,11 +658,10 @@ impl Campaign {
             .completions_per_family
             .entry(self.suite[idx].family.job_name().to_string())
             .or_insert(0) += 1;
-        let id = self.suite[idx].id();
         match self.cfg.mode {
-            SchedulingMode::External => self.sched.on_finished(&id, t),
+            SchedulingMode::External => self.sched.on_finished(&self.suite_ids[idx], t),
             SchedulingMode::NaiveCron { period } => {
-                self.naive_due[idx] = t + period;
+                self.set_naive_due(idx, t + period);
             }
         }
     }

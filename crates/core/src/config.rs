@@ -15,6 +15,23 @@ pub enum TestbedScale {
     Small,
 }
 
+/// How the campaign advances over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Next-event time advance (the default): the driver computes the
+    /// earliest due instant across test completions, scheduler due dates,
+    /// arrival processes, rollout phases and metric deadlines, and jumps
+    /// straight to it — quiet hours cost O(log n), not thousands of full
+    /// scans. Decisions still happen on the `tick` grid, so results are
+    /// identical to lockstep.
+    #[default]
+    NextEvent,
+    /// Legacy fixed-tick lockstep: process every tick whether or not
+    /// anything is due. Kept for the tick-vs-event equivalence suite and
+    /// as a benchmark baseline.
+    Lockstep,
+}
+
 /// How test launches are decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulingMode {
@@ -95,8 +112,20 @@ pub struct CampaignConfig {
     pub scale: TestbedScale,
     /// Virtual duration of the campaign.
     pub duration: SimDuration,
-    /// Decision-loop cadence.
+    /// Decision-loop cadence: the time grid on which decisions are made.
+    /// The lockstep engine processes every grid instant; the next-event
+    /// engine only the grid instants where something is due.
     pub tick: SimDuration,
+    /// Which time-advance engine drives the campaign.
+    pub engine: Engine,
+    /// How often the operator model runs (bug fixing happens at these
+    /// instants, aligned to the decision grid).
+    pub operator_cadence: SimDuration,
+    /// How often executor/OAR utilization is sampled. Bounded-cadence
+    /// sampling replaces the old one-sample-per-tick behaviour, so
+    /// year-long runs cost a fixed number of samples per virtual hour
+    /// regardless of tick length.
+    pub sample_cadence: SimDuration,
     /// CI executor pool size.
     pub executors: usize,
     /// Fault arrival configuration.
@@ -130,6 +159,9 @@ impl CampaignConfig {
             scale: TestbedScale::Small,
             duration: SimDuration::from_days(10),
             tick: SimDuration::from_mins(15),
+            engine: Engine::NextEvent,
+            operator_cadence: SimDuration::from_hours(1),
+            sample_cadence: SimDuration::from_hours(1),
             executors: 4,
             injector: InjectorConfig::default(),
             initial_fault_burden: 4,

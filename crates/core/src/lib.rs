@@ -26,5 +26,5 @@ pub mod metrics;
 pub mod scenario;
 
 pub use campaign::Campaign;
-pub use config::{CampaignConfig, Rollout, SchedulingMode, TestbedScale};
+pub use config::{CampaignConfig, Engine, Rollout, SchedulingMode, TestbedScale};
 pub use metrics::CampaignMetrics;

@@ -1,6 +1,6 @@
 //! Scenario presets for the paper's experiments.
 
-use crate::config::{CampaignConfig, Rollout, SchedulingMode, TestbedScale};
+use crate::config::{CampaignConfig, Engine, Rollout, SchedulingMode, TestbedScale};
 use ttt_jobsched::PolicyConfig;
 use ttt_oar::userload::UserLoadConfig;
 use ttt_sim::SimDuration;
@@ -17,6 +17,9 @@ pub fn paper_scenario(seed: u64) -> CampaignConfig {
         scale: TestbedScale::Paper,
         duration: SimDuration::from_days(180),
         tick: SimDuration::from_mins(15),
+        engine: Engine::NextEvent,
+        operator_cadence: SimDuration::from_hours(1),
+        sample_cadence: SimDuration::from_hours(1),
         executors: 16,
         injector: InjectorConfig::default().scaled(0.38),
         initial_fault_burden: 45,
@@ -44,6 +47,9 @@ pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
         scale: TestbedScale::Paper,
         duration: SimDuration::from_days(30),
         tick: SimDuration::from_mins(15),
+        engine: Engine::NextEvent,
+        operator_cadence: SimDuration::from_hours(1),
+        sample_cadence: SimDuration::from_hours(1),
         executors: 16,
         injector: InjectorConfig::default().scaled(0.2),
         initial_fault_burden: 10,

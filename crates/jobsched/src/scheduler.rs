@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use ttt_ci::{Cause, CiServer};
 use ttt_oar::OarServer;
-use ttt_sim::{Calendar, ExponentialBackoff, HourRange, SimDuration, SimTime};
+use ttt_sim::{Calendar, EventQueue, ExponentialBackoff, HourRange, SimDuration, SimTime};
 
 /// Scheduling policies (slide 17).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,8 +67,23 @@ pub struct ExternalScheduler {
     policy: PolicyConfig,
     entries: Vec<TestEntry>,
     states: Vec<EntryState>,
-    /// Count of in-flight entries per site.
-    active_per_site: HashMap<String, usize>,
+    /// Entry id → index (O(1) completion callbacks).
+    by_id: HashMap<String, usize>,
+    /// Entry indices keyed by their `next_due` instant. Every due-date
+    /// assignment pushes here; superseded entries are skipped lazily (an
+    /// entry is live only while its popped time equals the entry's current
+    /// `next_due` and it is not in flight). This makes a decision pass cost
+    /// O(due) instead of O(entries).
+    due_queue: EventQueue<usize>,
+    /// Scratch buffer of due indices reused across decision passes.
+    due_scratch: Vec<usize>,
+    /// Interned site per entry (index into `site_names`), so the per-site
+    /// concurrency cap needs no string hashing on the decision path.
+    site_of: Vec<usize>,
+    site_names: Vec<String>,
+    site_ids: HashMap<String, usize>,
+    /// Count of in-flight entries per interned site.
+    active_per_site: Vec<usize>,
     /// Decision counters for reporting (experiment E5).
     pub stats: SchedulerStats,
 }
@@ -100,13 +115,45 @@ impl ExternalScheduler {
                 active: false,
             })
             .collect();
-        ExternalScheduler {
-            policy,
-            entries,
-            states,
-            active_per_site: HashMap::new(),
-            stats: SchedulerStats::default(),
+        let mut due_queue = EventQueue::new();
+        for i in 0..entries.len() {
+            due_queue.push(SimTime::ZERO, i);
         }
+        let by_id = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.id.clone(), i))
+            .collect();
+        let mut s = ExternalScheduler {
+            policy,
+            entries: Vec::new(),
+            states,
+            by_id,
+            due_queue,
+            due_scratch: Vec::new(),
+            site_of: Vec::new(),
+            site_names: Vec::new(),
+            site_ids: HashMap::new(),
+            active_per_site: Vec::new(),
+            stats: SchedulerStats::default(),
+        };
+        for e in &entries {
+            let idx = s.intern_site(&e.site);
+            s.site_of.push(idx);
+        }
+        s.entries = entries;
+        s
+    }
+
+    fn intern_site(&mut self, site: &str) -> usize {
+        if let Some(&i) = self.site_ids.get(site) {
+            return i;
+        }
+        let i = self.site_names.len();
+        self.site_names.push(site.to_string());
+        self.site_ids.insert(site.to_string(), i);
+        self.active_per_site.push(0);
+        i
     }
 
     /// The policy in use.
@@ -122,22 +169,57 @@ impl ExternalScheduler {
     /// Add an entry mid-campaign ("tests still being added", slide 23).
     /// It becomes due at `now`.
     pub fn add_entry(&mut self, entry: TestEntry, now: SimTime) {
+        let site = self.intern_site(&entry.site);
         self.entries.push(entry);
+        self.site_of.push(site);
         self.states.push(EntryState {
             next_due: now,
             failures: 0,
             active: false,
         });
+        let i = self.entries.len() - 1;
+        self.due_queue.push(now, i);
+        self.by_id.insert(self.entries[i].id.clone(), i);
+    }
+
+    /// Record a new due date for entry `i` and index it for pickup.
+    fn set_due(&mut self, i: usize, at: SimTime) {
+        self.states[i].next_due = at;
+        self.due_queue.push(at, i);
+    }
+
+    /// Whether a queued `(time, index)` pair still describes a decision to
+    /// make (it is superseded once the entry re-armed or went in flight).
+    fn is_live(&self, at: SimTime, i: usize) -> bool {
+        !self.states[i].active && self.states[i].next_due == at
+    }
+
+    /// When the earliest entry becomes due, skipping superseded queue
+    /// entries. O(log n) amortized — this is what the event-driven campaign
+    /// engine polls instead of scanning every entry.
+    pub fn next_due_time(&mut self) -> Option<SimTime> {
+        while let Some((at, &i)) = self.due_queue.peek() {
+            if self.is_live(at, i) {
+                return Some(at);
+            }
+            self.due_queue.pop();
+        }
+        None
     }
 
     /// Look an entry index up by id.
     fn index_of(&self, id: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.id == id)
+        self.by_id.get(id).copied()
     }
 
     /// One decision pass at instant `now`: examine every due entry,
     /// apply the policies, trigger CI builds where everything lines up.
     /// Returns per-entry decisions for entries that were due.
+    ///
+    /// Due entries come off the due-date index, not a scan over every
+    /// entry; they are processed in entry order (exactly the order the old
+    /// full scan used), so decisions — and therefore backoff-jitter RNG
+    /// draws — are unchanged.
     pub fn tick<R: Rng>(
         &mut self,
         now: SimTime,
@@ -146,14 +228,47 @@ impl ExternalScheduler {
         rng: &mut R,
     ) -> Vec<(String, Decision)> {
         let mut out = Vec::new();
-        for i in 0..self.entries.len() {
-            if self.states[i].active || self.states[i].next_due > now {
-                continue;
-            }
-            let decision = self.decide(i, now, ci, oar, rng);
-            out.push((self.entries[i].id.clone(), decision));
-        }
+        self.pass(now, ci, oar, rng, &mut |id, d| out.push((id.to_string(), d)));
         out
+    }
+
+    /// [`ExternalScheduler::tick`] without materializing the per-entry
+    /// decision list — the campaign hot path (decisions are still counted
+    /// in [`SchedulerStats`]).
+    pub fn run_due<R: Rng>(
+        &mut self,
+        now: SimTime,
+        ci: &mut CiServer,
+        oar: &OarServer,
+        rng: &mut R,
+    ) {
+        self.pass(now, ci, oar, rng, &mut |_, _| {});
+    }
+
+    fn pass<R: Rng>(
+        &mut self,
+        now: SimTime,
+        ci: &mut CiServer,
+        oar: &OarServer,
+        rng: &mut R,
+        record: &mut dyn FnMut(&str, Decision),
+    ) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        let states = &self.states;
+        due.extend(
+            self.due_queue
+                .drain_due_iter(now)
+                .filter(|&(at, i)| states[i].next_due == at && !states[i].active)
+                .map(|(_, i)| i),
+        );
+        due.sort_unstable();
+        due.dedup();
+        for &i in &due {
+            let decision = self.decide(i, now, ci, oar, rng);
+            record(&self.entries[i].id, decision);
+        }
+        self.due_scratch = due;
     }
 
     fn decide<R: Rng>(
@@ -172,15 +287,15 @@ impl ExternalScheduler {
             && entry.hardware_centric
             && Calendar::is_peak(now, self.policy.peak_hours)
         {
-            self.states[i].next_due = now + self.policy.reexamine;
+            self.set_due(i, now + self.policy.reexamine);
             self.stats.deferred_peak += 1;
             return Decision::DeferredPeak;
         }
 
         // Policy 2: same-site concurrency cap.
-        let site_active = *self.active_per_site.get(&entry.site).unwrap_or(&0);
+        let site_active = self.active_per_site[self.site_of[i]];
         if site_active >= self.policy.max_active_per_site {
-            self.states[i].next_due = now + self.policy.reexamine;
+            self.set_due(i, now + self.policy.reexamine);
             self.stats.deferred_site += 1;
             return Decision::DeferredSite;
         }
@@ -192,7 +307,7 @@ impl ExternalScheduler {
                 .backoff
                 .delay_jittered(self.states[i].failures, rng);
             self.states[i].failures = self.states[i].failures.saturating_add(1);
-            self.states[i].next_due = now + delay;
+            self.set_due(i, now + delay);
             self.stats.deferred_resources += 1;
             return Decision::DeferredResources;
         }
@@ -206,12 +321,11 @@ impl ExternalScheduler {
         };
         if triggered.is_empty() {
             // Already queued or running in CI: wait for it to finish.
-            self.states[i].next_due = now + self.policy.reexamine;
-            self.stats.deferred_site += 0; // no dedicated counter; treat as pending
+            self.set_due(i, now + self.policy.reexamine);
             return Decision::DeferredPending;
         }
         self.states[i].active = true;
-        *self.active_per_site.entry(entry.site.clone()).or_insert(0) += 1;
+        self.active_per_site[self.site_of[i]] += 1;
         self.stats.triggered += 1;
         Decision::Triggered
     }
@@ -228,7 +342,7 @@ impl ExternalScheduler {
             .backoff
             .delay_jittered(self.states[i].failures, rng);
         self.states[i].failures = self.states[i].failures.saturating_add(1);
-        self.states[i].next_due = now + delay;
+        self.set_due(i, now + delay);
         self.stats.cancelled_not_immediate += 1;
     }
 
@@ -238,15 +352,14 @@ impl ExternalScheduler {
         let Some(i) = self.index_of(id) else { return };
         self.clear_active(i);
         self.states[i].failures = 0;
-        self.states[i].next_due = now + self.entries[i].period;
+        self.set_due(i, now + self.entries[i].period);
     }
 
     fn clear_active(&mut self, i: usize) {
         if self.states[i].active {
             self.states[i].active = false;
-            if let Some(c) = self.active_per_site.get_mut(&self.entries[i].site) {
-                *c = c.saturating_sub(1);
-            }
+            let c = &mut self.active_per_site[self.site_of[i]];
+            *c = c.saturating_sub(1);
         }
     }
 
@@ -462,6 +575,37 @@ mod tests {
         assert_eq!(s.active_count(), 0);
         assert_eq!(s.stats.cancelled_not_immediate, 1);
         assert!(s.next_due().unwrap() > OFFPEAK + SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn due_index_agrees_with_state_scan() {
+        let (_tb, oar, mut ci) = setup();
+        let mut s = ExternalScheduler::new(
+            PolicyConfig::default(),
+            vec![
+                entry("disk/alpha", "alpha", true),
+                entry("disk/gamma", "gamma", false),
+            ],
+        );
+        let mut rng = stream_rng(9, "sched");
+        // Drive several passes; after each, the indexed next-due must match
+        // a brute-force scan over entry states.
+        let mut t = OFFPEAK;
+        for _ in 0..6 {
+            s.tick(t, &mut ci, &oar, &mut rng);
+            assert_eq!(s.next_due_time(), s.next_due(), "at {t}");
+            let due = match s.next_due() {
+                Some(d) => d.max(t + SimDuration::from_mins(1)),
+                None => t + SimDuration::from_hours(1),
+            };
+            // Simulate completions so entries churn through states.
+            if s.active_count() > 0 {
+                s.on_finished("disk/gamma", due);
+                s.on_not_immediate("disk/alpha", due, &mut rng);
+            }
+            assert_eq!(s.next_due_time(), s.next_due());
+            t = due;
+        }
     }
 
     #[test]

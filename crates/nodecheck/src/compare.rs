@@ -81,29 +81,58 @@ pub fn diff_reports(expected: &ProbeReport, actual: &ProbeReport) -> Vec<Mismatc
     out
 }
 
+/// Find a node's description, looking inside its own cluster first — a
+/// couple of dozen name compares instead of a scan over the whole testbed
+/// — with the global scan kept as a fallback for descriptions that
+/// disagree about cluster membership.
+fn describe_node<'d>(
+    tb: &Testbed,
+    desc: &'d TestbedDescription,
+    node: NodeId,
+) -> Option<&'d ttt_refapi::NodeDescription> {
+    let n = tb.node(node);
+    let cluster = &tb.cluster(n.cluster).name;
+    desc.cluster(cluster)
+        .and_then(|c| c.nodes.iter().find(|d| d.name == n.name))
+        .or_else(|| desc.node(&n.name))
+}
+
 /// Run the full g5k-checks pass on one node: probe it and compare with the
 /// given Reference API description.
 pub fn check_node(tb: &Testbed, desc: &TestbedDescription, node: NodeId) -> CheckReport {
-    let name = tb.node(node).name.clone();
-    let Some(actual) = probe_node(tb, node) else {
+    let n = tb.node(node);
+    if !n.condition.alive {
         return CheckReport {
-            node: name,
+            node: n.name.clone(),
             reachable: false,
-            described: desc.node(&tb.node(node).name).is_some(),
+            described: describe_node(tb, desc, node).is_some(),
             mismatches: Vec::new(),
         };
-    };
-    let Some(described) = desc.node(&name) else {
+    }
+    let Some(described) = describe_node(tb, desc, node) else {
         return CheckReport {
-            node: name,
+            node: n.name.clone(),
             reachable: true,
             described: false,
             mismatches: Vec::new(),
         };
     };
+    // Fast path for the overwhelmingly common case — nothing drifted: a
+    // field-by-field struct compare, no probe-report maps, no allocation.
+    if n.hardware == described.hardware
+        && n.effective_memory_gb() == described.hardware.memory_gb()
+    {
+        return CheckReport {
+            node: n.name.clone(),
+            reachable: true,
+            described: true,
+            mismatches: Vec::new(),
+        };
+    }
+    let actual = probe_node(tb, node).expect("alive node answers probes");
     let expected = expected_report(described);
     CheckReport {
-        node: name,
+        node: n.name.clone(),
         reachable: true,
         described: true,
         mismatches: diff_reports(&expected, &actual),

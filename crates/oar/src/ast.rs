@@ -5,7 +5,7 @@ use std::fmt;
 use ttt_sim::SimDuration;
 
 /// Comparison operators in property expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -36,7 +36,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A property-filter expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// Always true (empty filter).
     True,
@@ -75,6 +75,19 @@ impl Expr {
     /// Disjunction helper.
     pub fn or(self, other: Expr) -> Expr {
         Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// The single cluster this filter can ever match, if one is statically
+    /// implied: a `cluster='x'` equality, possibly nested in conjunctions.
+    /// Returns `None` when the filter may span clusters — callers must then
+    /// fall back to considering every cluster. Used by the scheduler to
+    /// narrow candidate-instant collection to the relevant timelines.
+    pub fn implied_cluster(&self) -> Option<&str> {
+        match self {
+            Expr::Cmp { key, op: CmpOp::Eq, value } if key == "cluster" => Some(value),
+            Expr::And(a, b) => a.implied_cluster().or_else(|| b.implied_cluster()),
+            _ => None,
+        }
     }
 }
 
@@ -223,6 +236,16 @@ impl ResourceRequest {
             walltime,
         }
     }
+
+    /// The clusters this request can ever touch, if every group statically
+    /// implies one (see [`Expr::implied_cluster`]). `None` means the
+    /// request may span arbitrary clusters.
+    pub fn implied_clusters(&self) -> Option<Vec<&str>> {
+        self.groups
+            .iter()
+            .map(|g| g.filter.implied_cluster())
+            .collect()
+    }
 }
 
 impl fmt::Display for ResourceRequest {
@@ -247,6 +270,43 @@ mod tests {
         assert_eq!(e.to_string(), "(cluster='a' and gpu='YES')");
         let o = Expr::eq("x", "1").or(Expr::Not(Box::new(Expr::True)));
         assert_eq!(o.to_string(), "(x='1' or not TRUE)");
+    }
+
+    #[test]
+    fn implied_cluster_extraction() {
+        assert_eq!(Expr::eq("cluster", "a").implied_cluster(), Some("a"));
+        assert_eq!(
+            Expr::eq("gpu", "YES").and(Expr::eq("cluster", "b")).implied_cluster(),
+            Some("b")
+        );
+        assert_eq!(Expr::True.implied_cluster(), None);
+        assert_eq!(Expr::eq("gpu", "YES").implied_cluster(), None);
+        // Disjunctions and negations may span clusters: no implication.
+        assert_eq!(
+            Expr::eq("cluster", "a").or(Expr::eq("cluster", "b")).implied_cluster(),
+            None
+        );
+        assert_eq!(
+            Expr::Not(Box::new(Expr::eq("cluster", "a"))).implied_cluster(),
+            None
+        );
+
+        let req = ResourceRequest {
+            groups: vec![
+                RequestGroup {
+                    filter: Expr::eq("cluster", "a").and(Expr::eq("gpu", "YES")),
+                    hierarchy: vec![(Level::Nodes, Count::Exact(1))],
+                },
+                RequestGroup {
+                    filter: Expr::eq("cluster", "b"),
+                    hierarchy: vec![(Level::Nodes, Count::Exact(2))],
+                },
+            ],
+            walltime: SimDuration::from_hours(1),
+        };
+        assert_eq!(req.implied_clusters(), Some(vec!["a", "b"]));
+        let open = ResourceRequest::nodes(Expr::True, 1, SimDuration::from_hours(1));
+        assert_eq!(open.implied_clusters(), None);
     }
 
     #[test]

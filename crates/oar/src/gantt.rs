@@ -7,6 +7,7 @@
 //! scale (hundreds of nodes, thousands of jobs).
 
 use crate::job::JobId;
+use std::collections::BTreeMap;
 use ttt_sim::{SimDuration, SimTime};
 
 /// One reservation on one node.
@@ -100,6 +101,11 @@ impl NodeTimeline {
         self.slots.retain(|r| r.start < r.end);
     }
 
+    /// The end instant of `job`'s reservation on this node, if it holds one.
+    pub fn end_of(&self, job: JobId) -> Option<SimTime> {
+        self.slots.iter().find(|r| r.job == job).map(|r| r.end)
+    }
+
     /// The reservation active at instant `t`, if any.
     pub fn active_at(&self, t: SimTime) -> Option<&Reservation> {
         self.slots.iter().find(|r| r.start <= t && t < r.end)
@@ -114,6 +120,131 @@ impl NodeTimeline {
     pub fn gc(&mut self, horizon: SimTime) {
         self.slots.retain(|r| r.end > horizon);
     }
+}
+
+/// Per-cluster index of upcoming reservation *end* instants.
+///
+/// Conservative backfilling only ever starts a job "now" or at an instant
+/// where some reservation ends — a free window cannot open anywhere else.
+/// The planner used to rediscover those instants by scanning every node
+/// timeline on every pass; this index caches them, keyed by cluster, and is
+/// invalidated incrementally on reserve/release/truncate. Multiset
+/// semantics (`end → count`) because many reservations share an end.
+#[derive(Debug, Clone, Default)]
+pub struct EndIndex {
+    per_cluster: Vec<BTreeMap<SimTime, u32>>,
+    global: BTreeMap<SimTime, u32>,
+}
+
+impl EndIndex {
+    /// An index over `clusters` cluster slots.
+    pub fn new(clusters: usize) -> Self {
+        EndIndex {
+            per_cluster: vec![BTreeMap::new(); clusters],
+            global: BTreeMap::new(),
+        }
+    }
+
+    /// Record a reservation ending at `end` on a node of `cluster`.
+    pub fn add(&mut self, cluster: usize, end: SimTime) {
+        *self.per_cluster[cluster].entry(end).or_insert(0) += 1;
+        *self.global.entry(end).or_insert(0) += 1;
+    }
+
+    /// Remove one reservation end previously recorded with [`EndIndex::add`].
+    pub fn remove(&mut self, cluster: usize, end: SimTime) {
+        Self::dec(&mut self.per_cluster[cluster], end);
+        Self::dec(&mut self.global, end);
+    }
+
+    /// A reservation's end moved (truncation on early completion).
+    pub fn move_end(&mut self, cluster: usize, from: SimTime, to: SimTime) {
+        self.remove(cluster, from);
+        self.add(cluster, to);
+    }
+
+    fn dec(map: &mut BTreeMap<SimTime, u32>, end: SimTime) {
+        if let Some(c) = map.get_mut(&end) {
+            *c -= 1;
+            if *c == 0 {
+                map.remove(&end);
+            }
+        } else {
+            debug_assert!(false, "removing untracked end {end}");
+        }
+    }
+
+    /// Append every distinct end in `(after, upto]` on `cluster` to `out`.
+    pub fn candidates_into(
+        &self,
+        cluster: usize,
+        after: SimTime,
+        upto: SimTime,
+        out: &mut Vec<SimTime>,
+    ) {
+        out.extend(
+            self.per_cluster[cluster]
+                .range((
+                    std::ops::Bound::Excluded(after),
+                    std::ops::Bound::Included(upto),
+                ))
+                .map(|(&t, _)| t),
+        );
+    }
+
+    /// Append every distinct end in `(after, upto]` across all clusters to
+    /// `out`, in ascending order.
+    pub fn global_candidates_into(&self, after: SimTime, upto: SimTime, out: &mut Vec<SimTime>) {
+        out.extend(
+            self.global
+                .range((
+                    std::ops::Bound::Excluded(after),
+                    std::ops::Bound::Included(upto),
+                ))
+                .map(|(&t, _)| t),
+        );
+    }
+
+    /// The earliest tracked end strictly after `t` on `cluster` — i.e. the
+    /// next instant a node of that cluster can free up.
+    pub fn earliest_end_after(&self, cluster: usize, t: SimTime) -> Option<SimTime> {
+        self.per_cluster[cluster]
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(&e, _)| e)
+    }
+
+    /// The earliest tracked end strictly after `t` across all clusters
+    /// (drives the planning-horizon re-plan wakeup).
+    pub fn first_beyond(&self, t: SimTime) -> Option<SimTime> {
+        self.global
+            .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(&e, _)| e)
+    }
+
+    /// Multiset view for one cluster (testing/diagnostics).
+    pub fn cluster_counts(&self, cluster: usize) -> &BTreeMap<SimTime, u32> {
+        &self.per_cluster[cluster]
+    }
+
+    /// Multiset view across all clusters (testing/diagnostics).
+    pub fn global_counts(&self) -> &BTreeMap<SimTime, u32> {
+        &self.global
+    }
+
+    /// Drop ends at or before `horizon` (mirrors [`NodeTimeline::gc`]).
+    pub fn gc(&mut self, horizon: SimTime) {
+        for m in &mut self.per_cluster {
+            *m = m.split_off(&next_instant(horizon));
+        }
+        self.global = self.global.split_off(&next_instant(horizon));
+    }
+}
+
+/// The smallest instant strictly after `t` (for exclusive-bound `split_off`).
+fn next_instant(t: SimTime) -> SimTime {
+    SimTime::from_nanos(t.as_nanos().saturating_add(1))
 }
 
 #[cfg(test)]
@@ -204,6 +335,55 @@ mod tests {
         tl.gc(t(2));
         assert_eq!(tl.reservations().len(), 1);
         assert_eq!(tl.reservations()[0].job, JobId(2));
+    }
+
+    #[test]
+    fn end_of_finds_job_reservation() {
+        let mut tl = NodeTimeline::new();
+        tl.reserve(t(1), H * 2, JobId(7));
+        assert_eq!(tl.end_of(JobId(7)), Some(t(3)));
+        assert_eq!(tl.end_of(JobId(8)), None);
+    }
+
+    #[test]
+    fn end_index_multiset_semantics() {
+        let mut idx = EndIndex::new(2);
+        idx.add(0, t(3));
+        idx.add(0, t(3));
+        idx.add(1, t(5));
+        let mut out = Vec::new();
+        idx.global_candidates_into(t(0), t(10), &mut out);
+        assert_eq!(out, vec![t(3), t(5)]);
+        // One of the two t=3 ends goes away: t=3 must survive.
+        idx.remove(0, t(3));
+        out.clear();
+        idx.candidates_into(0, t(0), t(10), &mut out);
+        assert_eq!(out, vec![t(3)]);
+        idx.remove(0, t(3));
+        out.clear();
+        idx.global_candidates_into(t(0), t(10), &mut out);
+        assert_eq!(out, vec![t(5)]);
+    }
+
+    #[test]
+    fn end_index_ranges_and_moves() {
+        let mut idx = EndIndex::new(1);
+        idx.add(0, t(2));
+        idx.add(0, t(6));
+        // Range bounds: after exclusive, upto inclusive.
+        let mut out = Vec::new();
+        idx.candidates_into(0, t(2), t(6), &mut out);
+        assert_eq!(out, vec![t(6)]);
+        assert_eq!(idx.earliest_end_after(0, t(2)), Some(t(6)));
+        assert_eq!(idx.first_beyond(t(6)), None);
+        // Truncation moves an end earlier.
+        idx.move_end(0, t(6), t(4));
+        assert_eq!(idx.earliest_end_after(0, t(2)), Some(t(4)));
+        // GC drops history, keeping ends strictly after the horizon.
+        idx.gc(t(2));
+        let mut out = Vec::new();
+        idx.global_candidates_into(t(0), t(10), &mut out);
+        assert_eq!(out, vec![t(4)]);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 use crate::ast::{Count, Expr, Level, RequestGroup, ResourceRequest};
 use crate::eval::eval;
-use crate::gantt::NodeTimeline;
+use crate::gantt::{EndIndex, NodeTimeline};
 use crate::job::{Job, JobId, JobKind, JobState, Queue};
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use ttt_refapi::{all_properties, PropertyMap, TestbedDescription};
 use ttt_sim::{EventQueue, SimDuration, SimTime};
 use ttt_testbed::{NodeId, Testbed};
@@ -64,16 +66,42 @@ pub struct OarServer {
     props: Vec<PropertyMap>,
     /// Cluster name per node (cached from props for hierarchy grouping).
     cluster_of: Vec<String>,
+    /// Dense cluster index per node (same order as `cluster_names`).
+    cluster_idx_of: Vec<usize>,
+    /// Cluster names in first-appearance order (index space of the caches).
+    cluster_names: Vec<String>,
+    /// Cluster name → dense index.
+    cluster_index: HashMap<String, usize>,
+    /// Node ids per cluster, in node order (narrowed eligibility scans).
+    nodes_of_cluster: Vec<Vec<NodeId>>,
+    /// All node ids (scan fallback for cluster-agnostic filters).
+    all_nodes: Vec<NodeId>,
+    /// Cached match-sets: filter → nodes whose properties satisfy it. The
+    /// resource database is loaded once and never mutated afterwards (the
+    /// *description* drifts, the DB does not — that inconsistency is the
+    /// paper's subject), so entries stay valid for the server's lifetime.
+    /// Liveness and reservations are filtered per query, not cached.
+    match_cache: RefCell<HashMap<Expr, Rc<Vec<NodeId>>>>,
     node_states: Vec<NodeState>,
     timelines: Vec<NodeTimeline>,
+    /// Per-cluster cache of upcoming reservation ends — the planner's
+    /// candidate instants — invalidated on reserve/release/truncate.
+    ends: EndIndex,
     jobs: BTreeMap<JobId, Job>,
-    /// Jobs currently in `Waiting` state (index to avoid full scans).
-    waiting: Vec<JobId>,
+    /// Jobs currently in `Waiting` state, FCFS order. Cancellation removes
+    /// from `waiting_set` only; stale deque entries are skipped lazily, so
+    /// no O(n) `retain` runs per job.
+    waiting: VecDeque<JobId>,
+    waiting_set: HashSet<JobId>,
+    /// Scratch deque reused by scheduling passes.
+    waiting_scratch: VecDeque<JobId>,
     next_job: u64,
     events: EventQueue<OarEvent>,
     now: SimTime,
     /// Planning horizon: jobs not placeable within this window stay Waiting.
     horizon: SimDuration,
+    /// Last instant up to which horizon-entry re-planning was checked.
+    last_replan_check: SimTime,
     /// Last reservation-history garbage collection.
     last_gc: SimTime,
 }
@@ -85,30 +113,51 @@ impl OarServer {
         let by_name = all_properties(desc);
         let mut props = Vec::with_capacity(tb.nodes().len());
         let mut cluster_of = Vec::with_capacity(tb.nodes().len());
-        for node in tb.nodes() {
+        let mut cluster_idx_of = Vec::with_capacity(tb.nodes().len());
+        let mut cluster_names: Vec<String> = Vec::new();
+        let mut cluster_index: HashMap<String, usize> = HashMap::new();
+        let mut nodes_of_cluster: Vec<Vec<NodeId>> = Vec::new();
+        for (i, node) in tb.nodes().iter().enumerate() {
             let p = by_name
                 .get(&node.name)
                 .cloned()
                 .unwrap_or_default();
-            cluster_of.push(
-                p.get("cluster")
-                    .map(|v| v.render())
-                    .unwrap_or_default(),
-            );
+            let cluster = p
+                .get("cluster")
+                .map(|v| v.render())
+                .unwrap_or_default();
+            let idx = *cluster_index.entry(cluster.clone()).or_insert_with(|| {
+                cluster_names.push(cluster.clone());
+                nodes_of_cluster.push(Vec::new());
+                cluster_names.len() - 1
+            });
+            nodes_of_cluster[idx].push(NodeId::from(i));
+            cluster_idx_of.push(idx);
+            cluster_of.push(cluster);
             props.push(p);
         }
         let n = tb.nodes().len();
         OarServer {
             props,
             cluster_of,
+            cluster_idx_of,
+            ends: EndIndex::new(cluster_names.len()),
+            cluster_names,
+            cluster_index,
+            nodes_of_cluster,
+            all_nodes: (0..n).map(NodeId::from).collect(),
+            match_cache: RefCell::new(HashMap::new()),
             node_states: vec![NodeState::Alive; n],
             timelines: (0..n).map(|_| NodeTimeline::new()).collect(),
             jobs: BTreeMap::new(),
-            waiting: Vec::new(),
+            waiting: VecDeque::new(),
+            waiting_set: HashSet::new(),
+            waiting_scratch: VecDeque::new(),
             next_job: 1,
             events: EventQueue::new(),
             now: SimTime::ZERO,
             horizon: SimDuration::from_days(7),
+            last_replan_check: SimTime::ZERO,
             last_gc: SimTime::ZERO,
         }
     }
@@ -134,6 +183,11 @@ impl OarServer {
         &self.props[node.index()]
     }
 
+    /// Cluster names in the dense index order used by the planner caches.
+    pub fn cluster_names(&self) -> &[String] {
+        &self.cluster_names
+    }
+
     /// Per-node state.
     pub fn node_state(&self, node: NodeId) -> NodeState {
         self.node_states[node.index()]
@@ -147,11 +201,32 @@ impl OarServer {
     /// Synchronize node states with testbed reality: dead hardware becomes
     /// `Dead`, previously-dead-now-repaired hardware returns to `Alive`.
     /// Running jobs on newly dead nodes fail.
+    ///
+    /// Full-testbed scan; orchestrators that track which nodes flipped
+    /// should call [`OarServer::sync_dirty_nodes`] with the testbed's
+    /// alive-dirty set instead.
     pub fn sync_node_states(&mut self, tb: &Testbed) {
+        let all: Vec<NodeId> = tb.nodes().iter().map(|n| n.id).collect();
+        self.sync_nodes_inner(tb, &all);
+        self.schedule();
+    }
+
+    /// Diff-based sync: reconcile only `dirty` (nodes whose alive flag
+    /// flipped since the last sync, from [`Testbed::take_alive_dirty`]).
+    /// No-op — not even a scheduling pass — when `dirty` is empty.
+    pub fn sync_dirty_nodes(&mut self, tb: &Testbed, dirty: &[NodeId]) {
+        if dirty.is_empty() {
+            return;
+        }
+        self.sync_nodes_inner(tb, dirty);
+        self.schedule();
+    }
+
+    fn sync_nodes_inner(&mut self, tb: &Testbed, nodes: &[NodeId]) {
         let mut to_fail = Vec::new();
-        for node in tb.nodes() {
-            let idx = node.id.index();
-            let alive = node.condition.alive;
+        for &id in nodes {
+            let idx = id.index();
+            let alive = tb.node(id).condition.alive;
             match (alive, self.node_states[idx]) {
                 (false, NodeState::Dead) => {}
                 (false, _) => {
@@ -167,7 +242,6 @@ impl OarServer {
         for job in to_fail {
             self.fail_job(job);
         }
-        self.schedule();
     }
 
     /// Number of nodes busy (running a job) right now.
@@ -192,9 +266,33 @@ impl OarServer {
         }
     }
 
-    /// Jobs currently waiting (unplanned).
+    /// Jobs currently waiting (unplanned), FCFS order.
     pub fn waiting_jobs(&self) -> Vec<JobId> {
-        self.waiting.clone()
+        self.waiting
+            .iter()
+            .filter(|id| self.waiting_set.contains(id))
+            .copied()
+            .collect()
+    }
+
+    /// The next instant at which this server's state can change on its own:
+    /// the earliest pending job start/end event, or the instant a
+    /// beyond-horizon reservation end slides into the planning window and
+    /// re-planning of waiting jobs becomes worthwhile. `None` when nothing
+    /// is pending — an event-driven orchestrator can skip ahead freely.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let replan = if self.waiting_set.is_empty() {
+            None
+        } else {
+            // End `e` enters the horizon at `e - horizon`.
+            self.ends
+                .first_beyond(self.last_replan_check + self.horizon)
+                .map(|e| e - self.horizon)
+        };
+        match (self.events.peek_time(), replan) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Jobs currently running.
@@ -234,7 +332,8 @@ impl OarServer {
                 assigned: Vec::new(),
             },
         );
-        self.waiting.push(id);
+        self.waiting.push_back(id);
+        self.waiting_set.insert(id);
         self.schedule();
         Ok(id)
     }
@@ -256,13 +355,17 @@ impl OarServer {
         }
         let was_active = matches!(job.state, JobState::Running | JobState::Scheduled);
         if job.state == JobState::Waiting {
-            self.waiting.retain(|&w| w != id);
+            // The deque entry goes stale and is skipped lazily.
+            self.waiting_set.remove(&id);
         }
         job.state = JobState::Canceled;
         job.ended_at = Some(self.now);
         let assigned = job.assigned.clone();
         if was_active {
             for n in assigned {
+                if let Some(end) = self.timelines[n.index()].end_of(id) {
+                    self.ends.remove(self.cluster_idx_of[n.index()], end);
+                }
                 self.timelines[n.index()].release(id);
             }
         }
@@ -283,7 +386,14 @@ impl OarServer {
         job.ended_at = Some(now);
         let assigned = job.assigned.clone();
         for n in assigned {
+            let cluster = self.cluster_idx_of[n.index()];
+            let old = self.timelines[n.index()].end_of(id);
             self.timelines[n.index()].truncate(id, now);
+            match (old, self.timelines[n.index()].end_of(id)) {
+                (Some(from), Some(to)) if from != to => self.ends.move_end(cluster, from, to),
+                (Some(from), None) => self.ends.remove(cluster, from),
+                _ => {}
+            }
         }
         self.schedule();
         true
@@ -295,10 +405,16 @@ impl OarServer {
             if job.state.is_final() {
                 return;
             }
+            if job.state == JobState::Waiting {
+                self.waiting_set.remove(&id);
+            }
             job.state = JobState::Error;
             job.ended_at = Some(now);
             let assigned = job.assigned.clone();
             for n in assigned {
+                if let Some(end) = self.timelines[n.index()].end_of(id) {
+                    self.ends.remove(self.cluster_idx_of[n.index()], end);
+                }
                 self.timelines[n.index()].release(id);
                 self.timelines[n.index()].truncate(id, now);
             }
@@ -330,6 +446,20 @@ impl OarServer {
             }
         }
         self.now = to;
+        // A reservation end sliding into the planning horizon can unblock a
+        // job that was unplaceable on every earlier pass: re-plan exactly
+        // when one enters the window.
+        if !self.waiting_set.is_empty() {
+            let prev = self.last_replan_check;
+            if self
+                .ends
+                .first_beyond(prev + self.horizon)
+                .is_some_and(|e| e <= to + self.horizon)
+            {
+                self.schedule();
+            }
+        }
+        self.last_replan_check = to;
         // Daily GC of finished reservations keeps timelines short over
         // months-long campaigns.
         if to.since(self.last_gc) >= SimDuration::from_days(1) {
@@ -344,6 +474,7 @@ impl OarServer {
             for tl in &mut self.timelines {
                 tl.gc(horizon);
             }
+            self.ends.gc(horizon);
         }
     }
 
@@ -372,30 +503,45 @@ impl OarServer {
 
     /// Plan every waiting job (FCFS, conservative backfilling).
     fn schedule(&mut self) {
-        let waiting: Vec<JobId> = self.waiting.clone();
-        for id in waiting {
+        // Anything a pass can place is derived from candidates within
+        // `now + horizon`; later entries are caught by the re-plan check.
+        self.last_replan_check = self.now;
+        if self.waiting_set.is_empty() {
+            self.waiting.clear();
+            return;
+        }
+        let mut still = std::mem::take(&mut self.waiting_scratch);
+        still.clear();
+        while let Some(id) = self.waiting.pop_front() {
+            if !self.waiting_set.contains(&id) {
+                // Cancelled while queued: stale entry.
+                continue;
+            }
             let request = self.jobs[&id].request.clone();
             if let Some((start, assignment)) = self.earliest_assignment(&request) {
+                self.waiting_set.remove(&id);
                 let walltime = request.walltime;
                 for &n in &assignment {
                     self.timelines[n.index()].reserve(start, walltime, id);
+                    self.ends.add(self.cluster_idx_of[n.index()], start + walltime);
                 }
-                self.waiting.retain(|&w| w != id);
                 let job = self.jobs.get_mut(&id).unwrap();
                 job.assigned = assignment;
                 job.scheduled_start = Some(start);
+                job.state = JobState::Scheduled;
                 if start == self.now {
-                    job.state = JobState::Scheduled;
-                    self.events.push(start, OarEvent::JobShouldStart(id));
-                    // Start immediately (same instant).
+                    // Start immediately (same instant) — no event needed,
+                    // which keeps `next_event_time` free of stale entries.
                     self.start_job_now(id);
                 } else {
-                    job.state = JobState::Scheduled;
                     self.events.push(start, OarEvent::JobShouldStart(id));
                 }
+            } else {
+                // Stays Waiting; re-planned on the next pass.
+                still.push_back(id);
             }
-            // else: stays Waiting; re-planned on the next pass.
         }
+        self.waiting_scratch = std::mem::replace(&mut self.waiting, still);
     }
 
     /// Immediate start path for jobs planned at `now` (avoids waiting for
@@ -405,20 +551,32 @@ impl OarServer {
     }
 
     /// Earliest `(start, assignment)` for a request within the horizon.
+    ///
+    /// Candidate start instants: now plus every reservation end within the
+    /// horizon (a free window can only open when something ends). The ends
+    /// come from the [`EndIndex`] cache instead of a scan over every node
+    /// timeline, narrowed to the clusters the request can touch: an end on
+    /// an unrelated cluster never changes this request's feasibility, and
+    /// feasibility between two relevant ends is monotone non-increasing, so
+    /// dropping irrelevant instants cannot change the answer.
     fn earliest_assignment(&self, request: &ResourceRequest) -> Option<(SimTime, Vec<NodeId>)> {
-        // Candidate start instants: now plus every reservation end within
-        // the horizon (a free window can only open when something ends).
         let limit = self.now + self.horizon;
         let mut candidates: Vec<SimTime> = vec![self.now];
-        for tl in &self.timelines {
-            for r in tl.reservations() {
-                if r.end > self.now && r.end <= limit {
-                    candidates.push(r.end);
+        match request.implied_clusters() {
+            Some(names) => {
+                for name in names {
+                    // Unknown cluster names contribute no nodes, hence no
+                    // candidate instants either.
+                    if let Some(&c) = self.cluster_index.get(name) {
+                        self.ends.candidates_into(c, self.now, limit, &mut candidates);
+                    }
                 }
+                candidates.sort_unstable();
+                candidates.dedup();
             }
+            // Global keys are already ascending and unique, and all > now.
+            None => self.ends.global_candidates_into(self.now, limit, &mut candidates),
         }
-        candidates.sort();
-        candidates.dedup();
         for t in candidates {
             if let Some(assignment) = self.find_assignment(request, t) {
                 return Some((t, assignment));
@@ -437,6 +595,38 @@ impl OarServer {
         Some(taken)
     }
 
+    /// The node ids a filter can possibly match: its implied cluster's
+    /// nodes, or every node when the filter may span clusters.
+    fn scan_range(&self, filter: &Expr) -> &[NodeId] {
+        match filter
+            .implied_cluster()
+            .and_then(|name| self.cluster_index.get(name))
+        {
+            Some(&c) => &self.nodes_of_cluster[c],
+            None => &self.all_nodes,
+        }
+    }
+
+    /// The nodes whose (immutable) properties satisfy `filter`, cached per
+    /// distinct filter: the first query pays one scan + eval pass, every
+    /// later query is a hash lookup. Node order is preserved.
+    fn matching_nodes(&self, filter: &Expr) -> Rc<Vec<NodeId>> {
+        if let Some(hit) = self.match_cache.borrow().get(filter) {
+            return Rc::clone(hit);
+        }
+        let set: Rc<Vec<NodeId>> = Rc::new(
+            self.scan_range(filter)
+                .iter()
+                .copied()
+                .filter(|n| eval(filter, &self.props[n.index()]))
+                .collect(),
+        );
+        self.match_cache
+            .borrow_mut()
+            .insert(filter.clone(), Rc::clone(&set));
+        set
+    }
+
     /// Nodes eligible for a group at `start` for `duration`: alive, match
     /// the filter, free on their timeline, not already taken.
     fn eligible(
@@ -446,11 +636,11 @@ impl OarServer {
         duration: SimDuration,
         taken: &[NodeId],
     ) -> Vec<NodeId> {
-        (0..self.props.len())
-            .map(NodeId::from)
+        self.matching_nodes(filter)
+            .iter()
+            .copied()
             .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
             .filter(|n| !taken.contains(n))
-            .filter(|n| eval(filter, &self.props[n.index()]))
             .filter(|n| self.timelines[n.index()].is_free(start, duration))
             .collect()
     }
@@ -458,11 +648,11 @@ impl OarServer {
     /// All alive nodes matching the filter, regardless of reservations
     /// (used for `ALL` semantics and satisfiability checks).
     fn matching_alive(&self, filter: &Expr, taken: &[NodeId]) -> Vec<NodeId> {
-        (0..self.props.len())
-            .map(NodeId::from)
+        self.matching_nodes(filter)
+            .iter()
+            .copied()
             .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
             .filter(|n| !taken.contains(n))
-            .filter(|n| eval(filter, &self.props[n.index()]))
             .collect()
     }
 
@@ -512,11 +702,19 @@ impl OarServer {
                             }
                         }
                         Count::All => {
-                            // Every alive member of this cluster must be free.
-                            let members = self.matching_alive(
-                                &Expr::eq("cluster", cluster).and(group.filter.clone()),
-                                taken,
-                            );
+                            // Every alive member of this cluster must be
+                            // free (intersection computed on the cached
+                            // match-set — no ad-hoc filter expression).
+                            let members: Vec<NodeId> = self
+                                .matching_nodes(&group.filter)
+                                .iter()
+                                .copied()
+                                .filter(|n| self.cluster_of[n.index()] == *cluster)
+                                .filter(|n| {
+                                    matches!(self.node_states[n.index()], NodeState::Alive)
+                                })
+                                .filter(|n| !taken.contains(n))
+                                .collect();
                             if !members.is_empty()
                                 && members
                                     .iter()
@@ -538,6 +736,40 @@ impl OarServer {
                 (eligible.len() >= needed).then(|| eligible[..needed].to_vec())
             }
         }
+    }
+
+    /// Debug/property-test validation: the end-index cache must exactly
+    /// mirror a linear scan over every node timeline — same multiset of
+    /// reservation ends, globally and per cluster.
+    pub fn check_end_index_consistency(&self) -> Result<(), String> {
+        let mut want_global: BTreeMap<SimTime, u32> = BTreeMap::new();
+        let mut want_cluster: Vec<BTreeMap<SimTime, u32>> =
+            vec![BTreeMap::new(); self.cluster_names.len()];
+        for (i, tl) in self.timelines.iter().enumerate() {
+            for r in tl.reservations() {
+                *want_global.entry(r.end).or_insert(0) += 1;
+                *want_cluster[self.cluster_idx_of[i]].entry(r.end).or_insert(0) += 1;
+            }
+        }
+        if self.ends.global_counts() != &want_global {
+            return Err(format!(
+                "global end-index diverged: cached {:?}, scanned {:?}",
+                self.ends.global_counts(),
+                want_global
+            ));
+        }
+        for (c, want) in want_cluster.iter().enumerate() {
+            if self.ends.cluster_counts(c) != want {
+                return Err(format!(
+                    "cluster {} ({}) end-index diverged: cached {:?}, scanned {:?}",
+                    c,
+                    self.cluster_names[c],
+                    self.ends.cluster_counts(c),
+                    want
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn validate(&self, request: &ResourceRequest) -> Result<(), SubmitError> {
@@ -829,6 +1061,86 @@ mod tests {
         let req = nodes_req(Expr::True, 3, 1);
         assert!(s.immediate_assignment(&req).is_some());
         assert_eq!(s.busy_nodes(), 0);
+    }
+
+    #[test]
+    fn cancel_waiting_job_is_lazy_but_correct() {
+        let (_tb, mut s) = setup();
+        // Fill the testbed far beyond the horizon so followers stay Waiting.
+        s.submit("a", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 24 * 30))
+            .unwrap();
+        let b = s
+            .submit("b", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 1))
+            .unwrap();
+        let c = s
+            .submit("c", Queue::Default, JobKind::User, nodes_req(Expr::True, 1, 1))
+            .unwrap();
+        assert_eq!(s.waiting_jobs(), vec![b, c]);
+        assert!(s.cancel(b));
+        assert_eq!(s.waiting_jobs(), vec![c]);
+        assert_eq!(s.job(b).unwrap().state, JobState::Canceled);
+    }
+
+    #[test]
+    fn next_event_time_tracks_starts_and_ends() {
+        let (_tb, mut s) = setup();
+        assert_eq!(s.next_event_time(), None);
+        let id = s
+            .submit("a", Queue::Default, JobKind::User, nodes_req(Expr::True, 2, 3))
+            .unwrap();
+        // Job started immediately: next event is its walltime end.
+        assert_eq!(s.job(id).unwrap().state, JobState::Running);
+        assert_eq!(s.next_event_time(), Some(SimTime::from_hours(3)));
+    }
+
+    #[test]
+    fn replan_happens_when_end_enters_horizon() {
+        let (_tb, mut s) = setup();
+        // A 10-day job: its end is outside the 7-day planning horizon.
+        let long = s
+            .submit("a", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 240))
+            .unwrap();
+        assert_eq!(s.job(long).unwrap().state, JobState::Running);
+        // A full-testbed follower cannot be planned within the horizon.
+        let follower = s
+            .submit("b", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 1))
+            .unwrap();
+        assert_eq!(s.job(follower).unwrap().state, JobState::Waiting);
+        // The server knows when re-planning becomes possible: day 10 end
+        // enters the 7-day horizon at day 3.
+        assert_eq!(
+            s.next_event_time(),
+            Some(SimTime::from_hours(240) - SimDuration::from_days(7))
+        );
+        // Advancing past that instant plans the follower at the long job's
+        // end, without any other state change having occurred.
+        s.advance(SimTime::from_days(4));
+        let j = s.job(follower).unwrap();
+        assert_eq!(j.state, JobState::Scheduled);
+        assert_eq!(j.scheduled_start, Some(SimTime::from_hours(240)));
+    }
+
+    #[test]
+    fn sync_dirty_nodes_matches_full_sync() {
+        let (mut tb, mut s) = setup();
+        let id = s
+            .submit("x", Queue::Default, JobKind::User, nodes_req(Expr::True, 14, 5))
+            .unwrap();
+        let victim = s.job(id).unwrap().assigned[0];
+        tb.apply_fault(
+            ttt_testbed::FaultKind::NodeDead,
+            ttt_testbed::FaultTarget::Node(victim),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let dirty = tb.take_alive_dirty();
+        assert_eq!(dirty, vec![victim]);
+        s.sync_dirty_nodes(&tb, &dirty);
+        assert_eq!(s.job(id).unwrap().state, JobState::Error);
+        assert_eq!(s.node_state(victim), NodeState::Dead);
+        // Empty dirty set: nothing to reconcile, nothing changes.
+        s.sync_dirty_nodes(&tb, &[]);
+        assert_eq!(s.node_state(victim), NodeState::Dead);
     }
 
     #[test]

@@ -62,6 +62,21 @@ impl UserLoadGenerator {
         self.submitted
     }
 
+    /// The next candidate arrival instant, if the process can fire.
+    ///
+    /// Primes the pending candidate on first use with the exact draw
+    /// [`UserLoadGenerator::advance`] would have made, so peeking does not
+    /// perturb the arrival stream. Candidates may still be thinned away by
+    /// the diurnal intensity when they are reached — the caller only needs
+    /// an instant before which nothing can happen.
+    pub fn next_event<R: Rng>(&mut self, now: SimTime, rng: &mut R) -> Option<SimTime> {
+        if self.next_candidate.is_none() {
+            let process = PoissonProcess::per_day(self.config.peak_jobs_per_day);
+            self.next_candidate = process.next_after(now, rng);
+        }
+        self.next_candidate
+    }
+
     /// Advance to `until`, submitting user jobs into `server`.
     ///
     /// Uses Poisson thinning: candidates arrive at the peak rate and are
@@ -176,6 +191,25 @@ mod tests {
             (gen.submitted(), server.jobs().len())
         };
         assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn next_event_peek_does_not_perturb_stream() {
+        let run = |peek: bool| {
+            let (mut gen, mut server) = setup();
+            let mut rng = stream_rng(5, "userload");
+            let peeked = if peek {
+                gen.next_event(SimTime::ZERO, &mut rng)
+            } else {
+                None
+            };
+            gen.advance(SimTime::from_days(3), &mut server, &mut rng);
+            (peeked, gen.submitted(), server.jobs().len())
+        };
+        let (peeked, n1, j1) = run(true);
+        let (_, n2, j2) = run(false);
+        assert_eq!((n1, j1), (n2, j2));
+        assert!(peeked.unwrap() > SimTime::ZERO);
     }
 
     #[test]

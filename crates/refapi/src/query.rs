@@ -32,9 +32,17 @@ impl PropValue {
     }
 
     /// Compare against a literal string as OAR does: booleans match
-    /// `YES`/`NO`, integers match their decimal rendering.
+    /// `YES`/`NO`, integers match their decimal rendering. Allocation-free:
+    /// this sits on the scheduler's per-node eligibility path.
     pub fn matches_literal(&self, lit: &str) -> bool {
-        self.render() == lit
+        match self {
+            PropValue::Str(s) => s == lit,
+            PropValue::Bool(b) => lit == if *b { "YES" } else { "NO" },
+            PropValue::Int(i) => {
+                let mut buf = [0u8; 20];
+                decimal(*i, &mut buf) == lit.as_bytes()
+            }
+        }
     }
 
     /// Numeric view, if the value is (or parses as) a number.
@@ -51,6 +59,26 @@ impl fmt::Display for PropValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// Render `i` as canonical decimal into `buf`, returning the used slice
+/// (stack-only `i64::to_string` for [`PropValue::matches_literal`]).
+fn decimal(i: i64, buf: &mut [u8; 20]) -> &[u8] {
+    let mut n = i.unsigned_abs();
+    let mut pos = buf.len();
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if i < 0 {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    &buf[pos..]
 }
 
 /// The flat property map OAR stores for one node.
@@ -140,6 +168,12 @@ mod tests {
         assert!(PropValue::Bool(true).matches_literal("YES"));
         assert!(!PropValue::Bool(true).matches_literal("yes"));
         assert!(PropValue::Int(16).matches_literal("16"));
+        // The stack decimal rendering matches `to_string` exactly.
+        for i in [0i64, 7, -1, 42, -9000, i64::MAX, i64::MIN] {
+            assert!(PropValue::Int(i).matches_literal(&i.to_string()), "{i}");
+            assert!(!PropValue::Int(i).matches_literal("x"));
+        }
+        assert!(!PropValue::Int(16).matches_literal("016"));
         assert_eq!(PropValue::Str("42".into()).as_int(), Some(42));
         assert_eq!(PropValue::Bool(true).as_int(), None);
     }

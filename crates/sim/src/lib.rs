@@ -32,7 +32,7 @@ pub mod time;
 pub use backoff::ExponentialBackoff;
 pub use calendar::{Calendar, HourRange};
 pub use process::PoissonProcess;
-pub use queue::EventQueue;
+pub use queue::{DrainDue, EventQueue};
 pub use rng::{stream_rng, RngFactory};
 pub use stats::{Histogram, OnlineStats, PeriodSeries};
 pub use time::{SimDuration, SimTime};

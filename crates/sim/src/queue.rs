@@ -8,6 +8,7 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+#[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -38,6 +39,7 @@ impl<E> PartialOrd for Entry<E> {
 }
 
 /// Priority queue of `(SimTime, E)` with FIFO tie-breaking.
+#[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
@@ -70,6 +72,11 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The next event without removing it, as `(time, &event)`.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
+    }
+
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
@@ -84,12 +91,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Drain every event due at or before `now`, in order.
+    ///
+    /// Thin allocating wrapper over [`EventQueue::drain_due_iter`]; hot
+    /// paths should use the iterator directly.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
-        let mut out = Vec::new();
-        while let Some(ev) = self.pop_due(now) {
-            out.push(ev);
-        }
-        out
+        self.drain_due_iter(now).collect()
+    }
+
+    /// Non-allocating draining iterator over events due at or before `now`,
+    /// in order. Events are removed from the queue as the iterator is
+    /// advanced; dropping the iterator leaves the rest in place.
+    pub fn drain_due_iter(&mut self, now: SimTime) -> DrainDue<'_, E> {
+        DrainDue { queue: self, now }
     }
 
     /// Number of pending events.
@@ -105,6 +118,20 @@ impl<E> EventQueue<E> {
     /// Remove all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+/// Draining iterator returned by [`EventQueue::drain_due_iter`].
+pub struct DrainDue<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Iterator for DrainDue<'_, E> {
+    type Item = (SimTime, E);
+
+    fn next(&mut self) -> Option<(SimTime, E)> {
+        self.queue.pop_due(self.now)
     }
 }
 
@@ -170,6 +197,44 @@ mod tests {
                 now = t;
             }
         }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(4), "x");
+        q.push(SimTime::from_secs(2), "y");
+        assert_eq!(q.peek(), Some((SimTime::from_secs(2), &"y")));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_due_iter_matches_drain_due() {
+        let mk = || {
+            let mut q = EventQueue::new();
+            for i in 0..10u64 {
+                q.push(SimTime::from_secs(i % 5), i);
+            }
+            q
+        };
+        let drained: Vec<_> = mk().drain_due_iter(SimTime::from_secs(3)).collect();
+        assert_eq!(drained, mk().drain_due(SimTime::from_secs(3)));
+        assert_eq!(drained.len(), 8);
+    }
+
+    #[test]
+    fn dropping_drain_due_iter_keeps_remainder() {
+        let mut q = EventQueue::new();
+        for i in 0..6u64 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        {
+            let mut it = q.drain_due_iter(SimTime::from_secs(10));
+            assert!(it.next().is_some());
+            assert!(it.next().is_some());
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
     }
 
     #[test]

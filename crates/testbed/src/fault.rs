@@ -272,6 +272,24 @@ impl FaultInjector {
         self.primed = true;
     }
 
+    /// The earliest pending arrival (fault or maintenance), if any.
+    ///
+    /// Primes the per-kind arrival draws on first use — the same draws, in
+    /// the same stream order, that [`FaultInjector::advance`] would make —
+    /// so an event-driven campaign engine can ask "when does the next fault
+    /// land?" without disturbing determinism.
+    pub fn next_event<R: Rng>(&mut self, rng: &mut R) -> Option<SimTime> {
+        if !self.primed {
+            self.prime(SimTime::ZERO, rng);
+        }
+        self.next_arrival
+            .iter()
+            .flatten()
+            .copied()
+            .chain(self.next_maintenance)
+            .min()
+    }
+
     /// Advance virtual time to `until`, injecting every due fault into the
     /// testbed. Returns the newly injected faults (some arrivals may be
     /// no-ops if the drawn target already carries the fault).
@@ -487,6 +505,36 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn next_event_matches_advance_stream() {
+        // Asking for the next arrival first must not change which faults
+        // land (it primes with the exact draws advance would make).
+        let run = |peek: bool| {
+            let mut tb = TestbedBuilder::small().build();
+            let mut inj = FaultInjector::new(InjectorConfig::default());
+            let mut rng = stream_rng(7, "inject");
+            let peeked = if peek { inj.next_event(&mut rng) } else { None };
+            let sigs: Vec<String> = inj
+                .advance(SimTime::from_days(30), &mut tb, &mut rng)
+                .iter()
+                .map(|f| f.signature())
+                .collect();
+            (peeked, sigs)
+        };
+        let (peeked, with_peek) = run(true);
+        let (_, without_peek) = run(false);
+        assert_eq!(with_peek, without_peek);
+        let t = peeked.expect("default config has arrivals");
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_event_none_when_quiescent() {
+        let mut inj = FaultInjector::new(InjectorConfig::quiescent());
+        let mut rng = stream_rng(7, "inject");
+        assert_eq!(inj.next_event(&mut rng), None);
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct Testbed {
     services: Vec<Vec<Service>>,
     active: Vec<Fault>,
     next_fault_id: u64,
+    /// Nodes whose `alive` flag flipped since the last
+    /// [`Testbed::take_alive_dirty`] — the OAR server diffs against this
+    /// instead of rescanning every node each pass.
+    alive_dirty: Vec<NodeId>,
 }
 
 impl Testbed {
@@ -48,7 +52,21 @@ impl Testbed {
             services,
             active: Vec::new(),
             next_fault_id: 0,
+            alive_dirty: Vec::new(),
         }
+    }
+
+    /// Nodes whose alive state changed since the last drain, without
+    /// consuming them.
+    pub fn alive_dirty(&self) -> &[NodeId] {
+        &self.alive_dirty
+    }
+
+    /// Drain the set of nodes whose alive state changed since the previous
+    /// drain. Consumers (the OAR server sync) process exactly these instead
+    /// of scanning all nodes.
+    pub fn take_alive_dirty(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.alive_dirty)
     }
 
     /// All sites.
@@ -361,6 +379,7 @@ impl Testbed {
                 let node = &mut self.nodes[n.index()];
                 if node.condition.alive {
                     node.condition.alive = false;
+                    self.alive_dirty.push(n);
                     true
                 } else {
                     false
@@ -427,7 +446,10 @@ impl Testbed {
                     FaultKind::OfedFlaky => node.condition.ofed_flaky = false,
                     FaultKind::ConsoleDead => node.condition.console_dead = false,
                     FaultKind::VlanPortStuck => node.condition.vlan_port_stuck = false,
-                    FaultKind::NodeDead => node.condition.alive = true,
+                    FaultKind::NodeDead => {
+                        node.condition.alive = true;
+                        self.alive_dirty.push(n);
+                    }
                     _ => {}
                 }
             }
@@ -458,6 +480,30 @@ mod tests {
         assert!(tb.repair(f.id));
         assert_eq!(tb.node(n).hardware, before);
         assert!(tb.active_faults().is_empty());
+    }
+
+    #[test]
+    fn alive_dirty_tracks_flips_only() {
+        let mut tb = tb();
+        let n = tb.clusters()[0].nodes[0];
+        // Config drift does not flip alive: no dirty entry.
+        tb.apply_fault(FaultKind::TurboDrift, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        assert!(tb.alive_dirty().is_empty());
+        // Death marks the node dirty once.
+        let f = tb
+            .apply_fault(FaultKind::NodeDead, FaultTarget::Node(n), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(tb.alive_dirty(), &[n]);
+        // A second death on the same node is a no-op: still one entry.
+        assert!(tb
+            .apply_fault(FaultKind::NodeDead, FaultTarget::Node(n), SimTime::ZERO)
+            .is_none());
+        assert_eq!(tb.take_alive_dirty(), vec![n]);
+        assert!(tb.alive_dirty().is_empty());
+        // Repair flips alive back: dirty again.
+        assert!(tb.repair(f.id));
+        assert_eq!(tb.take_alive_dirty(), vec![n]);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Property tests for the planner's earliest-free / candidate-instant
+//! cache (`EndIndex`): every cached answer must equal an uncached linear
+//! scan over the node timelines, under arbitrary op sequences.
+
+use proptest::prelude::*;
+use throughout::oar::gantt::{EndIndex, NodeTimeline};
+use throughout::oar::{Expr, JobId, JobKind, JobState, OarServer, Queue, ResourceRequest};
+use throughout::refapi::describe;
+use throughout::sim::{SimDuration, SimTime};
+use throughout::testbed::TestbedBuilder;
+
+/// One randomized op against a small two-cluster timeline world.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Reserve on node `node` at hour `start` for `hours`.
+    Reserve { node: usize, start: u64, hours: u64 },
+    /// Release the job created by reserve #`k` (modulo issued).
+    Release { k: usize },
+    /// Truncate the job created by reserve #`k` at `fraction`% of its span.
+    Truncate { k: usize, percent: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Tagged-tuple encoding (the vendored proptest has no `prop_oneof`):
+    // half the ops reserve, the rest split release/truncate.
+    (0u8..4, 0usize..6, 0u64..200, 1u64..30, 0usize..40, 0u64..101).prop_map(
+        |(tag, node, start, hours, k, percent)| match tag {
+            0 | 1 => Op::Reserve { node, start, hours },
+            2 => Op::Release { k },
+            _ => Op::Truncate { k, percent },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// After any op sequence, the index's candidate instants, per-cluster
+    /// earliest ends and global counts all equal a brute-force scan of the
+    /// timelines.
+    #[test]
+    fn end_index_matches_linear_scan(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        // Six nodes, two "clusters": nodes 0-2 → cluster 0, 3-5 → cluster 1.
+        let cluster_of = |node: usize| usize::from(node >= 3);
+        let mut timelines: Vec<NodeTimeline> = (0..6).map(|_| NodeTimeline::new()).collect();
+        let mut index = EndIndex::new(2);
+        let mut issued: Vec<(usize, JobId)> = Vec::new(); // (node, job)
+        let mut next_job = 1u64;
+
+        for op in &ops {
+            match *op {
+                Op::Reserve { node, start, hours } => {
+                    let start = SimTime::from_hours(start);
+                    let d = SimDuration::from_hours(hours);
+                    if timelines[node].is_free(start, d) {
+                        let job = JobId(next_job);
+                        next_job += 1;
+                        timelines[node].reserve(start, d, job);
+                        index.add(cluster_of(node), start + d);
+                        issued.push((node, job));
+                    }
+                }
+                Op::Release { k } => {
+                    if issued.is_empty() { continue; }
+                    let (node, job) = issued[k % issued.len()];
+                    if let Some(end) = timelines[node].end_of(job) {
+                        timelines[node].release(job);
+                        index.remove(cluster_of(node), end);
+                    }
+                }
+                Op::Truncate { k, percent } => {
+                    if issued.is_empty() { continue; }
+                    let (node, job) = issued[k % issued.len()];
+                    let Some(r) = timelines[node]
+                        .reservations()
+                        .iter()
+                        .find(|r| r.job == job)
+                        .copied()
+                    else { continue };
+                    let at = r.start + (r.end - r.start) * (percent as f64 / 100.0);
+                    if at < r.start || at >= r.end { continue; }
+                    let old = r.end;
+                    timelines[node].truncate(job, at);
+                    match timelines[node].end_of(job) {
+                        Some(new) if new != old => index.move_end(cluster_of(node), old, new),
+                        Some(_) => {}
+                        None => index.remove(cluster_of(node), old),
+                    }
+                }
+            }
+
+            // Uncached linear scan over every timeline.
+            let mut scan_ends: Vec<Vec<SimTime>> = vec![Vec::new(), Vec::new()];
+            for (node, tl) in timelines.iter().enumerate() {
+                for r in tl.reservations() {
+                    scan_ends[cluster_of(node)].push(r.end);
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // `c` also names the cluster for the index
+            for c in 0..2 {
+                scan_ends[c].sort_unstable();
+                // Cached candidate instants == scanned distinct ends, over
+                // several probe windows.
+                for (after, upto) in [(0u64, 400u64), (10, 50), (30, 31), (100, 150)] {
+                    let (after, upto) = (SimTime::from_hours(after), SimTime::from_hours(upto));
+                    let mut cached = Vec::new();
+                    index.candidates_into(c, after, upto, &mut cached);
+                    let mut scanned: Vec<SimTime> = scan_ends[c]
+                        .iter()
+                        .copied()
+                        .filter(|&e| e > after && e <= upto)
+                        .collect();
+                    scanned.dedup();
+                    prop_assert_eq!(&cached, &scanned, "cluster {} window {}..{}", c, after, upto);
+                }
+                // Cached earliest-free answer == scanned minimum.
+                for probe in [0u64, 5, 25, 75, 150] {
+                    let probe = SimTime::from_hours(probe);
+                    let scanned_min = scan_ends[c].iter().copied().find(|&e| e > probe);
+                    prop_assert_eq!(
+                        index.earliest_end_after(c, probe),
+                        scanned_min,
+                        "cluster {} probe {}", c, probe
+                    );
+                }
+            }
+        }
+    }
+
+    /// The live OAR server keeps its end-index cache exactly in sync with
+    /// its timelines through arbitrary submit/advance/cancel/complete
+    /// streams (including GC).
+    #[test]
+    fn server_end_index_stays_consistent(
+        steps in prop::collection::vec(
+            (0u64..2000, 0usize..5, 1u32..4, 1u64..50, 0u8..4), 1..40)
+    ) {
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let mut server = OarServer::new(&tb, &desc);
+        let clusters: Vec<String> = tb.clusters().iter().map(|c| c.name.clone()).collect();
+        let mut ids = Vec::new();
+        let mut sorted = steps.clone();
+        sorted.sort_by_key(|s| s.0);
+        for (mins, cluster, nodes, wall_hours, action) in sorted {
+            server.advance(SimTime::from_mins(mins));
+            match action {
+                // Submit a job.
+                0 | 1 => {
+                    let filter = if action == 0 {
+                        Expr::True
+                    } else {
+                        Expr::eq("cluster", &clusters[cluster % clusters.len()])
+                    };
+                    let req = ResourceRequest::nodes(
+                        filter, nodes, SimDuration::from_hours(wall_hours));
+                    if let Ok(id) = server.submit("prop", Queue::Default, JobKind::User, req) {
+                        ids.push(id);
+                    }
+                }
+                // Cancel some earlier job.
+                2 => {
+                    if let Some(&id) = ids.get(cluster) {
+                        server.cancel(id);
+                    }
+                }
+                // Complete some earlier job early.
+                _ => {
+                    if let Some(&id) = ids.get(cluster) {
+                        if server.job(id).map(|j| j.state) == Some(JobState::Running) {
+                            server.complete_early(id);
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                server.check_end_index_consistency().is_ok(),
+                "{:?}",
+                server.check_end_index_consistency()
+            );
+        }
+        // Push far forward so GC and remaining ends both fire.
+        server.advance(SimTime::from_days(40));
+        prop_assert!(server.check_end_index_consistency().is_ok());
+    }
+}

@@ -153,6 +153,42 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Machine-readable output: when `BENCH_JSON` names a file, merge this
+/// measurement into it as a flat `{"<bench id>": <median ns>}` object.
+/// Bench binaries run as separate processes, so the file is re-read and
+/// re-written per measurement; ids never contain quotes or backslashes.
+fn record_json(id: &str, median_ns: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut entries: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((key, value)) = rest.split_once("\": ") else {
+                continue;
+            };
+            if let Ok(v) = value.trim().parse::<f64>() {
+                entries.insert(key.to_string(), v);
+            }
+        }
+    }
+    entries.insert(id.to_string(), median_ns);
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{k}\": {v:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    let _ = std::fs::write(&path, out);
+}
+
 fn human_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -215,6 +251,7 @@ impl Criterion {
             println!("{id:<50} (no measurement)");
         } else {
             println!("{id:<50} time: [{}]", human_ns(b.measured_ns));
+            record_json(id, b.measured_ns);
         }
     }
 
