@@ -1,0 +1,43 @@
+//! Scenario-swarm throughput: scenarios/sec joins the perf trajectory.
+//!
+//! Two shapes: the full differential pipeline (both engines + all oracles,
+//! what CI's smoke job runs) and the generation+next-event-only sweep
+//! (the pure campaign-throughput ceiling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttt_scengen::{run_swarm, seed_block, Oracles};
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm");
+    group.sample_size(10);
+
+    group.bench_function("8_seeds_all_oracles", |b| {
+        let seeds = seed_block(1, 8);
+        let oracles = Oracles::default();
+        b.iter(|| {
+            let report = run_swarm(&seeds, &oracles, false);
+            assert!(report.all_passed());
+            black_box(report.total_tests_run())
+        })
+    });
+
+    group.bench_function("8_seeds_next_event_only", |b| {
+        let seeds = seed_block(1, 8);
+        let oracles = Oracles {
+            equivalence: false,
+            detection: false,
+            conservation: false,
+            tests_run_limit: None,
+        };
+        b.iter(|| {
+            let report = run_swarm(&seeds, &oracles, false);
+            black_box(report.total_tests_run())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_swarm);
+criterion_main!(benches);

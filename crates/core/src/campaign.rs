@@ -102,9 +102,10 @@ impl Campaign {
     /// Assemble a campaign from its configuration.
     pub fn new(cfg: CampaignConfig) -> Self {
         let rngs = RngFactory::new(cfg.seed);
-        let mut tb = match cfg.scale {
+        let mut tb = match &cfg.scale {
             TestbedScale::Paper => TestbedBuilder::paper_scale().build(),
             TestbedScale::Small => TestbedBuilder::small().build(),
+            TestbedScale::Custom(specs) => TestbedBuilder::from_specs(specs.clone()).build(),
         };
         let mut refapi = RefApi::new();
         refapi.publish_from(&tb, SimTime::ZERO);
@@ -215,6 +216,11 @@ impl Campaign {
         &self.oar
     }
 
+    /// The CI server (executor accounting, build histories).
+    pub fn ci(&self) -> &CiServer {
+        &self.ci
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -313,6 +319,14 @@ impl Campaign {
         // land between syncs): reconcile on the very next grid instant,
         // exactly when the lockstep engine would.
         if !self.tb.alive_dirty().is_empty() {
+            merge(Some(self.now + SimDuration::from_nanos(1)), &mut wake);
+        }
+        // A free executor with builds still queued: `start_work` can finish
+        // a build immediately (unstable — no testbed resources), freeing
+        // its executor after the step's assignment pass already ran. The
+        // lockstep engine picks the next queued build up on the very next
+        // grid instant; wake then so this engine does too.
+        if self.ci.queue_len() > 0 && self.ci.busy_executors() < self.ci.executor_count() {
             merge(Some(self.now + SimDuration::from_nanos(1)), &mut wake);
         }
         // Operator and metrics cadences.

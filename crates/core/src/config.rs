@@ -4,15 +4,19 @@ use ttt_jobsched::PolicyConfig;
 use ttt_oar::userload::UserLoadConfig;
 use ttt_sim::{SimDuration, SimTime};
 use ttt_suite::Family;
+use ttt_testbed::gen::ClusterSpec;
 use ttt_testbed::InjectorConfig;
 
 /// Which testbed to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TestbedScale {
     /// The paper-scale instance: 8 sites, 32 clusters, 894 nodes.
     Paper,
     /// The small 14-node instance for fast tests.
     Small,
+    /// An arbitrary generated topology (the scenario grammar's testbeds):
+    /// whatever cluster specifications the caller composed.
+    Custom(Vec<ClusterSpec>),
 }
 
 /// How the campaign advances over virtual time.

@@ -1,0 +1,103 @@
+//! Swarm CLI: sweep a block of seeds through the scenario grammar and the
+//! differential oracles, rayon-parallel.
+//!
+//! ```text
+//! cargo run --release -p ttt_scengen --example swarm -- \
+//!     [--seeds N] [--base B] [--no-equivalence] [--no-detection] \
+//!     [--no-conservation] [--max-tests LIMIT] [--no-shrink]
+//! ```
+//!
+//! Prints one line per scenario, a throughput summary, and — for every
+//! failure — the minimal reproducer seed and JSON dump. Exits non-zero if
+//! any scenario violated an oracle, so CI can gate on it.
+
+use std::time::Instant;
+use ttt_scengen::{run_swarm, seed_block, Oracles};
+
+fn main() {
+    let mut n: usize = 32;
+    let mut base: u64 = 1;
+    let mut oracles = Oracles::default();
+    let mut shrink = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--seeds" => n = value("--seeds") as usize,
+            "--base" => base = value("--base"),
+            "--max-tests" => oracles.tests_run_limit = Some(value("--max-tests")),
+            "--no-equivalence" => oracles.equivalence = false,
+            "--no-detection" => oracles.detection = false,
+            "--no-conservation" => oracles.conservation = false,
+            "--no-shrink" => shrink = false,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if n == 0 {
+        // An empty sweep must not read as a green gate in CI.
+        eprintln!("--seeds must be at least 1");
+        std::process::exit(2);
+    }
+    let seeds = seed_block(base, n);
+    println!(
+        "swarm: {n} scenarios (seeds {base}..{}), {} workers",
+        base + n as u64,
+        rayon::current_num_threads()
+    );
+    let started = Instant::now();
+    let report = run_swarm(&seeds, &oracles, shrink);
+    let elapsed = started.elapsed();
+
+    for o in &report.outcomes {
+        println!(
+            "  seed {:>6}  {}  {:>3} clusters  {:>3} nodes  {:>4} h  {:>6} tests{}",
+            o.seed,
+            if o.passed() { "ok  " } else { "FAIL" },
+            o.spec.clusters.len(),
+            o.spec.node_count(),
+            o.spec.duration_hours,
+            o.tests_run,
+            if o.passed() {
+                String::new()
+            } else {
+                format!("  ({} violations)", o.violations.len())
+            }
+        );
+    }
+    for o in report.failures() {
+        for v in &o.violations {
+            println!("seed {}: {v}", o.seed);
+        }
+        if let Some(r) = &o.reproducer {
+            println!(
+                "seed {}: minimal reproducer ({} h horizon, {} fault kinds): {}",
+                o.seed,
+                r.spec.duration_hours,
+                r.spec.fault_mix.len(),
+                r.dump
+            );
+        }
+    }
+
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "{}/{} scenarios passed in {:.2}s ({:.1} scenarios/sec, {} tests run)",
+        report.outcomes.len() - report.failures().len(),
+        report.outcomes.len(),
+        secs,
+        report.outcomes.len() as f64 / secs.max(1e-9),
+        report.total_tests_run()
+    );
+    if !report.all_passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ttt-scengen — the scenario swarm
+//!
+//! The paper's core claim is that a testbed is trustworthy only when its
+//! bug catalogue (slide 22) stays detectable by its test coverage
+//! (slide 21). Three hand-written scenarios cannot audit that claim; this
+//! crate turns the scenario space into a grammar and the audit into a
+//! swarm:
+//!
+//! * [`grammar`] — any `u64` seed expands deterministically into a
+//!   [`ScenarioSpec`]: testbed topology, fault mix over the whole
+//!   catalogue, user load, rollout pattern, scheduling mode, tick grid and
+//!   horizon. Specs serialize to JSON and lower to [`ttt_core`] campaign
+//!   configurations for either engine.
+//! * [`oracle`] — differential checks every generated scenario must pass:
+//!   NextEvent ≡ Lockstep bit-identity, detection soundness (injected
+//!   faults resolve back through `find_fault`; every mixed-in kind is
+//!   detectable by its owning family), and conservation (node, reservation
+//!   and metric accounting).
+//! * [`swarm`] — executes N seeds rayon-parallel and aggregates outcomes.
+//! * [`shrink`] — failing scenarios are minimized (horizon bisection,
+//!   fault-mix pruning, noise zeroing) into a [`Reproducer`] whose JSON
+//!   dump replays as a one-line test.
+//!
+//! ```
+//! use ttt_scengen::{run_swarm, seed_block, Oracles};
+//!
+//! let report = run_swarm(&seed_block(1, 2), &Oracles::default(), true);
+//! assert!(report.all_passed());
+//! ```
+
+pub mod grammar;
+pub mod oracle;
+pub mod shrink;
+pub mod swarm;
+
+pub use grammar::{ModeDim, RolloutDim, ScenarioSpec};
+pub use oracle::{CampaignDigest, OracleKind, Violation, KNOWN_COVERAGE_GAPS};
+pub use shrink::{replay, shrink, Reproducer};
+pub use swarm::{run_scenario, run_seed, run_swarm, seed_block, Oracles, ScenarioOutcome, SwarmReport};

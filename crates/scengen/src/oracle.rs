@@ -1,0 +1,504 @@
+//! Differential oracles checked against every generated scenario.
+//!
+//! Three properties must hold for any point of the scenario grammar:
+//!
+//! 1. **Engine equivalence** — the next-event and lockstep engines produce
+//!    bit-identical campaigns ([`CampaignDigest`] captures every observable
+//!    with floats taken bitwise). This generalises the hand-written
+//!    `engine_equivalence` suite from three scenarios to the whole grammar.
+//! 2. **Detection soundness** — every fault still active when the campaign
+//!    ends resolves back through [`find_fault`] from its canonical
+//!    diagnostic signature, and every fault kind in the scenario's mix is
+//!    detectable by its owning test family on the shared
+//!    [`ttt_suite::testutil::Harness`] — unless the kind is explicitly
+//!    classified in [`KNOWN_COVERAGE_GAPS`].
+//! 3. **Conservation** — node/reservation/metric accounting: structural
+//!    testbed invariants, OAR reservation exclusivity and index
+//!    consistency, executor accounting, and metric bookkeeping identities.
+
+use crate::grammar::ScenarioSpec;
+use std::fmt;
+use ttt_core::matching::find_fault;
+use ttt_core::{Campaign, Engine};
+use ttt_sim::SimTime;
+use ttt_suite::testutil::Harness;
+use ttt_suite::{Family, Target, TestConfig};
+use ttt_testbed::{Fault, FaultKind, FaultTarget, NodeId, ServiceKind, Testbed};
+
+/// Which oracle a violation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// NextEvent ≢ Lockstep for the same spec.
+    EngineEquivalence,
+    /// An injected fault cannot be resolved back (or a mixed-in kind is
+    /// not detectable by its family).
+    DetectionSoundness,
+    /// An accounting identity broke.
+    Conservation,
+    /// The self-test trip wire (`Oracles::tests_run_limit`) fired.
+    TestsRunLimit,
+}
+
+impl fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OracleKind::EngineEquivalence => "engine-equivalence",
+            OracleKind::DetectionSoundness => "detection-soundness",
+            OracleKind::Conservation => "conservation",
+            OracleKind::TestsRunLimit => "tests-run-limit",
+        })
+    }
+}
+
+/// One oracle violation, with enough detail to start debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The oracle that failed.
+    pub oracle: OracleKind,
+    /// Human-readable description of what broke.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Fault kinds the suite is known not to cover. Empty today — every
+/// catalogue entry has an owning family — but the mechanism exists so a
+/// future kind can be admitted explicitly instead of silently skipped.
+pub const KNOWN_COVERAGE_GAPS: &[FaultKind] = &[];
+
+/// Everything observable a campaign produces, with floats captured bitwise
+/// so "identical" means identical. Shared by the swarm's equivalence
+/// oracle and the `engine_equivalence` integration suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignDigest {
+    /// Total tests run.
+    pub tests_run: u64,
+    /// Total tests failed.
+    pub tests_failed: u64,
+    /// Builds marked unstable.
+    pub unstable_builds: u64,
+    /// Bugs filed.
+    pub filed: usize,
+    /// Bugs fixed.
+    pub fixed: usize,
+    /// Scheduler launches.
+    pub triggered: u64,
+    /// Deferrals: peak hours.
+    pub deferred_peak: u64,
+    /// Deferrals: same-site cap.
+    pub deferred_site: u64,
+    /// Deferrals: resources busy.
+    pub deferred_resources: u64,
+    /// Cancellations: not immediately scheduled.
+    pub cancelled_not_immediate: u64,
+    /// Per-family completion counts.
+    pub completions: Vec<(String, u64)>,
+    /// Weekly success means, bitwise.
+    pub weekly_means: Vec<(usize, u64)>,
+    /// Monthly success means, bitwise.
+    pub monthly_means: Vec<(usize, u64)>,
+    /// Bug-count snapshots `(t, filed, fixed)`.
+    pub bug_snapshots: Vec<(u64, usize, usize)>,
+    /// Executor-occupancy stats `(count, mean bits)`.
+    pub executor_busy: (u64, u64),
+    /// OAR-utilization stats `(count, mean bits)`.
+    pub oar_utilization: (u64, u64),
+    /// Faults still active at the end.
+    pub active_faults: usize,
+    /// Status-grid rows.
+    pub grid_rows: Vec<String>,
+}
+
+impl CampaignDigest {
+    /// Capture a finished campaign's observable state.
+    pub fn capture(c: &Campaign) -> Self {
+        let m = c.metrics();
+        let stats = &c.scheduler().stats;
+        CampaignDigest {
+            tests_run: m.tests_run,
+            tests_failed: m.tests_failed,
+            unstable_builds: m.unstable_builds,
+            filed: c.tracker().filed(),
+            fixed: c.tracker().fixed(),
+            triggered: stats.triggered,
+            deferred_peak: stats.deferred_peak,
+            deferred_site: stats.deferred_site,
+            deferred_resources: stats.deferred_resources,
+            cancelled_not_immediate: stats.cancelled_not_immediate,
+            completions: m
+                .completions_per_family
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            weekly_means: m
+                .weekly_success
+                .means()
+                .into_iter()
+                .map(|(i, v)| (i, v.to_bits()))
+                .collect(),
+            monthly_means: m
+                .monthly_success
+                .means()
+                .into_iter()
+                .map(|(i, v)| (i, v.to_bits()))
+                .collect(),
+            bug_snapshots: m
+                .bug_snapshots
+                .iter()
+                .map(|(t, a, b)| (t.as_nanos(), *a, *b))
+                .collect(),
+            executor_busy: (m.executor_busy.count(), m.executor_busy.mean().to_bits()),
+            oar_utilization: (
+                m.oar_utilization.count(),
+                m.oar_utilization.mean().to_bits(),
+            ),
+            active_faults: c.testbed().active_faults().len(),
+            grid_rows: c.status_grid().jobs.clone(),
+        }
+    }
+
+    /// Names of the fields on which two digests disagree.
+    pub fn diff(&self, other: &CampaignDigest) -> Vec<&'static str> {
+        macro_rules! diff_fields {
+            ($($field:ident),+ $(,)?) => {{
+                let mut out = Vec::new();
+                $(if self.$field != other.$field { out.push(stringify!($field)); })+
+                out
+            }};
+        }
+        diff_fields!(
+            tests_run,
+            tests_failed,
+            unstable_builds,
+            filed,
+            fixed,
+            triggered,
+            deferred_peak,
+            deferred_site,
+            deferred_resources,
+            cancelled_not_immediate,
+            completions,
+            weekly_means,
+            monthly_means,
+            bug_snapshots,
+            executor_busy,
+            oar_utilization,
+            active_faults,
+            grid_rows,
+        )
+    }
+}
+
+/// Run one engine over a spec to completion.
+pub fn run_campaign(spec: &ScenarioSpec, engine: Engine) -> Campaign {
+    let mut c = Campaign::new(spec.campaign_config(engine));
+    c.run();
+    c
+}
+
+/// Oracle 1: the two engines must agree bit-for-bit on `spec`.
+pub fn check_engine_equivalence(spec: &ScenarioSpec, next_event: &CampaignDigest) -> Option<Violation> {
+    let lockstep = CampaignDigest::capture(&run_campaign(spec, Engine::Lockstep));
+    if lockstep == *next_event {
+        return None;
+    }
+    Some(Violation {
+        oracle: OracleKind::EngineEquivalence,
+        detail: format!(
+            "engines diverge on fields {:?} (seed {})",
+            lockstep.diff(next_event),
+            spec.seed
+        ),
+    })
+}
+
+/// The canonical diagnostic-signature prefix a fault kind surfaces as.
+/// Most kinds diagnose under their own name; the boot-behaviour kinds
+/// surface as the symptom the deploy/reboot families report.
+fn canonical_prefix(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::KernelBootRace => "boot-delay",
+        FaultKind::RandomReboots => "boot-failure",
+        k => k.name(),
+    }
+}
+
+/// The diagnostic signature a test family would file for `fault` — fault
+/// signatures use node ids, diagnostics use node names, so this is *not*
+/// `Fault::signature` for node faults.
+fn canonical_signature(fault: &Fault, tb: &Testbed) -> String {
+    match fault.target {
+        FaultTarget::Service(..) => fault.signature(),
+        FaultTarget::Node(n) | FaultTarget::NodePair(n, _) => {
+            format!("{}@{}", canonical_prefix(fault.kind), tb.node(n).name)
+        }
+    }
+}
+
+/// Whether two fault targets overlap (repairing `b` would clear `a`'s
+/// symptom on the shared hardware).
+fn targets_overlap(a: FaultTarget, b: FaultTarget) -> bool {
+    let nodes = |t: FaultTarget| -> Vec<NodeId> {
+        match t {
+            FaultTarget::Node(n) => vec![n],
+            FaultTarget::NodePair(x, y) => vec![x, y],
+            FaultTarget::Service(..) => vec![],
+        }
+    };
+    match (a, b) {
+        (FaultTarget::Service(s1, k1), FaultTarget::Service(s2, k2)) => s1 == s2 && k1 == k2,
+        (a, b) => nodes(a).iter().any(|n| nodes(b).contains(n)),
+    }
+}
+
+/// Oracle 2a: every fault still active at the end of the campaign must be
+/// resolvable back through the bug→fault matcher from its canonical
+/// diagnostic signature (otherwise a filed bug could never repair it).
+pub fn check_fault_resolution(tb: &Testbed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for fault in tb.active_faults() {
+        if KNOWN_COVERAGE_GAPS.contains(&fault.kind) {
+            continue;
+        }
+        let sig = canonical_signature(fault, tb);
+        match find_fault(tb, &sig) {
+            Some(found) if found.kind == fault.kind && targets_overlap(found.target, fault.target) => {}
+            Some(found) => out.push(Violation {
+                oracle: OracleKind::DetectionSoundness,
+                detail: format!(
+                    "signature {sig} of {} resolved to unrelated fault {} ({})",
+                    fault.signature(),
+                    found.signature(),
+                    found.id
+                ),
+            }),
+            None => out.push(Violation {
+                oracle: OracleKind::DetectionSoundness,
+                detail: format!(
+                    "active fault {} is unresolvable from its canonical signature {sig}",
+                    fault.signature()
+                ),
+            }),
+        }
+    }
+    out
+}
+
+/// Where a fault kind is detected on the shared small-testbed harness:
+/// `(family, target, max retry budget, cluster to inject on)`. Exhaustive
+/// match — adding a [`FaultKind`] variant without declaring coverage here
+/// (or in [`KNOWN_COVERAGE_GAPS`]) is a compile error.
+pub fn coverage_for(kind: FaultKind) -> (Family, Target, usize, &'static str) {
+    let cluster = || Target::Cluster("alpha".into());
+    let site = || Target::Site("east".into());
+    match kind {
+        FaultKind::DiskWriteCacheDrift => (Family::Disk, cluster(), 1, "alpha"),
+        FaultKind::DiskFirmwareDrift => (Family::Disk, cluster(), 1, "alpha"),
+        FaultKind::CpuCStatesDrift => (Family::Refapi, cluster(), 1, "alpha"),
+        FaultKind::HyperthreadingDrift => (Family::Refapi, cluster(), 1, "alpha"),
+        FaultKind::TurboDrift => (Family::StdEnv, cluster(), 40, "alpha"),
+        FaultKind::BiosVersionDrift => (Family::DellBios, cluster(), 1, "alpha"),
+        FaultKind::DimmFailure => (Family::OarProperties, cluster(), 1, "alpha"),
+        FaultKind::NicDowngrade => {
+            (Family::OarProperties, Target::Cluster("beta".into()), 1, "beta")
+        }
+        FaultKind::CablingSwap => (Family::Kwapi, site(), 1, "alpha"),
+        FaultKind::KernelBootRace => (Family::MultiReboot, cluster(), 40, "alpha"),
+        FaultKind::RandomReboots => (Family::MultiReboot, cluster(), 600, "alpha"),
+        FaultKind::OfedFlaky => (Family::MpiGraph, cluster(), 150, "alpha"),
+        FaultKind::ConsoleDead => (Family::Console, cluster(), 1, "alpha"),
+        FaultKind::VlanPortStuck => (Family::Kavlan, site(), 1, "alpha"),
+        FaultKind::ServiceFlaky => (Family::Cmdline, site(), 150, "alpha"),
+        FaultKind::ServiceDown => (Family::Cmdline, site(), 1, "alpha"),
+        FaultKind::NodeDead => (Family::OarState, site(), 1, "alpha"),
+    }
+}
+
+/// Oracle 2b: every fault kind in the scenario's mix must be detectable by
+/// its owning family on the shared harness — the slide-21 coverage keeps
+/// up with the slide-22 catalogue for whatever mix the grammar composed.
+pub fn check_kind_detectability(spec: &ScenarioSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &(kind, _) in &spec.fault_mix {
+        if KNOWN_COVERAGE_GAPS.contains(&kind) {
+            continue;
+        }
+        if let Some(detail) = kind_detectability_failure(kind, spec.seed) {
+            out.push(Violation {
+                oracle: OracleKind::DetectionSoundness,
+                detail,
+            });
+        }
+    }
+    out
+}
+
+/// Run `kind`'s owning family on a fresh harness until the injected fault
+/// is detected and attributed; `Some(detail)` if the retry budget runs dry.
+fn kind_detectability_failure(kind: FaultKind, seed: u64) -> Option<String> {
+    let (family, target, max_runs, cluster) = coverage_for(kind);
+    let seed = seed ^ (kind as u64) << 32;
+    detection_failure(kind, family, target, max_runs, cluster, seed, "swarm-detect")
+}
+
+/// The inject → assign → run → attribute loop shared by the swarm's
+/// detection-soundness oracle and the end-to-end detection matrix
+/// (`tests/detection_matrix.rs`): inject `kind` on `cluster_name` of the
+/// shared small-testbed harness, run `family` up to `max_runs` times, and
+/// require a diagnostic that [`find_fault`] resolves back to the injected
+/// fault. `Some(detail)` describes the failure; `None` means detected.
+#[allow(clippy::too_many_arguments)]
+pub fn detection_failure(
+    kind: FaultKind,
+    family: Family,
+    target: Target,
+    max_runs: usize,
+    cluster_name: &str,
+    seed: u64,
+    stream: &str,
+) -> Option<String> {
+    let mut h = Harness::with_stream(seed, stream);
+    let nodes = h.tb.cluster_by_name(cluster_name).unwrap().nodes.clone();
+    let fault_target = match kind {
+        FaultKind::CablingSwap => FaultTarget::NodePair(nodes[0], nodes[1]),
+        FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
+            FaultTarget::Service(h.tb.sites()[0].id, ServiceKind::KadeployServer)
+        }
+        _ => FaultTarget::Node(nodes[0]),
+    };
+    // A failed injection is a broken coverage entry (e.g. a drift that
+    // cannot apply on the declared cluster), not a pass.
+    let Some(fault) = h.tb.apply_fault(kind, fault_target, SimTime::ZERO) else {
+        return Some(format!(
+            "{kind} cannot be injected on {cluster_name} — coverage entry is miswired"
+        ));
+    };
+    let cfg = TestConfig { family, target };
+    // Assignments: hardware-centric take the cluster; site tests take two
+    // nodes; everything else takes the faulty node.
+    h.assigned = if cfg.family.hardware_centric() {
+        nodes.clone()
+    } else if matches!(cfg.target, Target::Site(_)) {
+        vec![nodes[0], nodes[2]]
+    } else {
+        vec![nodes[0]]
+    };
+    for _ in 0..max_runs {
+        let report = h.run_static(&cfg);
+        for d in &report.diagnostics {
+            if let Some(found) = find_fault(&h.tb, &d.signature) {
+                if found.id == fault.id {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(format!(
+        "{kind} not detected by {family} within {max_runs} runs (seed {seed})"
+    ))
+}
+
+/// Oracle 3: conservation — node, reservation and metric accounting.
+pub fn check_conservation(c: &Campaign) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |detail: String| {
+        out.push(Violation {
+            oracle: OracleKind::Conservation,
+            detail,
+        })
+    };
+    let tb = c.testbed();
+
+    // Structural testbed invariants (node ↔ cluster ↔ site partition).
+    if let Err(e) = ttt_testbed::validate(tb) {
+        fail(format!("testbed structure: {e}"));
+    }
+
+    // OAR: the planner's end-index caches must agree with the timelines.
+    if let Err(e) = c.oar().check_end_index_consistency() {
+        fail(format!("oar end-index: {e}"));
+    }
+
+    // OAR: running reservations hold disjoint, existing nodes.
+    let mut claimed: Vec<NodeId> = Vec::new();
+    for job in c.oar().jobs().values() {
+        if job.state != ttt_oar::JobState::Running {
+            continue;
+        }
+        for &n in &job.assigned {
+            if n.index() >= tb.nodes().len() {
+                fail(format!("job assigned to nonexistent {n}"));
+            } else if claimed.contains(&n) {
+                fail(format!("{n} reserved by two running jobs"));
+            } else {
+                claimed.push(n);
+            }
+        }
+    }
+
+    // CI: executor accounting.
+    if c.ci().busy_executors() > c.ci().executor_count() {
+        fail(format!(
+            "{} busy executors out of {}",
+            c.ci().busy_executors(),
+            c.ci().executor_count()
+        ));
+    }
+
+    // Metrics: every completion is attributed to exactly one family.
+    let m = c.metrics();
+    let per_family: u64 = m.completions_per_family.values().sum();
+    if per_family != m.tests_run {
+        fail(format!(
+            "tests_run {} != per-family completion sum {per_family}",
+            m.tests_run
+        ));
+    }
+    if m.tests_failed > m.tests_run {
+        fail(format!(
+            "tests_failed {} > tests_run {}",
+            m.tests_failed, m.tests_run
+        ));
+    }
+
+    // Bug ledger: fixes never outrun filings; snapshots are monotone.
+    let (filed, fixed) = (c.tracker().filed(), c.tracker().fixed());
+    if fixed > filed {
+        fail(format!("fixed {fixed} > filed {filed}"));
+    }
+    let mut prev = (0usize, 0usize);
+    for &(t, f, x) in &m.bug_snapshots {
+        if f < prev.0 || x < prev.1 {
+            fail(format!(
+                "bug snapshot at {t} regressed: ({f},{x}) after {prev:?}"
+            ));
+        }
+        if x > f {
+            fail(format!("bug snapshot at {t} has fixed {x} > filed {f}"));
+        }
+        prev = (f, x);
+    }
+
+    // Fault ledger: active faults are distinct ids on distinct symptoms.
+    let mut ids: Vec<u64> = tb.active_faults().iter().map(|f| f.id.0).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != n {
+        fail("duplicate active fault ids".to_string());
+    }
+
+    // Utilization samples stay in [0, 1].
+    for (name, stats) in [("executor_busy", &m.executor_busy), ("oar_utilization", &m.oar_utilization)] {
+        let mean = stats.mean();
+        if stats.count() > 0 && !(-1e-9..=1.0 + 1e-9).contains(&mean) {
+            fail(format!("{name} mean {mean} outside [0,1]"));
+        }
+    }
+
+    out
+}

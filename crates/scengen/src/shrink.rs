@@ -1,0 +1,115 @@
+//! Failure shrinking: reduce a violating scenario to a minimal reproducer.
+//!
+//! When a swarm scenario trips an oracle, the shrinker re-runs the oracle
+//! suite on systematically smaller specs — bisecting the horizon, pruning
+//! the fault mix entry by entry, then zeroing the remaining noise sources —
+//! and keeps every reduction that still violates. The result is a
+//! [`Reproducer`]: the minimal spec, its JSON dump, and the violation it
+//! still produces, replayable as a one-line test via [`replay`].
+
+use crate::grammar::ScenarioSpec;
+use crate::oracle::{OracleKind, Violation};
+use crate::swarm::{run_scenario, Oracles};
+
+/// A minimal failing scenario, ready to paste into a regression test.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// The originating seed.
+    pub seed: u64,
+    /// The minimized spec.
+    pub spec: ScenarioSpec,
+    /// The violation the minimized spec still produces.
+    pub violation: Violation,
+    /// JSON dump of the minimized spec (feed to [`replay`]).
+    pub dump: String,
+}
+
+/// First violation of `spec` under `oracles`, if any.
+fn violates(spec: &ScenarioSpec, oracles: &Oracles) -> Option<Violation> {
+    run_scenario(spec, oracles).0.into_iter().next()
+}
+
+/// `oracles` restricted to the one that produced `kind` — shrink probes
+/// check only the failing oracle, so minimization stays cheap and a
+/// reduction cannot latch onto a different bug than the one it claims to
+/// reproduce.
+fn only(kind: OracleKind, oracles: &Oracles) -> Oracles {
+    Oracles {
+        equivalence: kind == OracleKind::EngineEquivalence,
+        detection: kind == OracleKind::DetectionSoundness,
+        conservation: kind == OracleKind::Conservation,
+        tests_run_limit: (kind == OracleKind::TestsRunLimit)
+            .then_some(oracles.tests_run_limit)
+            .flatten(),
+    }
+}
+
+/// Shrink a violating spec to a minimal reproducer. Returns `None` when
+/// `spec` does not actually violate any enabled oracle.
+pub fn shrink(spec: &ScenarioSpec, oracles: &Oracles) -> Option<Reproducer> {
+    let mut violation = violates(spec, oracles)?;
+    let oracles = &only(violation.oracle, oracles);
+    let mut best = spec.clone();
+
+    // 1. Bisect the horizon: keep halving while the failure persists. The
+    //    floor is one tick (a campaign must advance at least one grid
+    //    instant to mean anything).
+    let floor_hours = (best.tick_mins / 60).max(1);
+    while best.duration_hours / 2 >= floor_hours {
+        let mut candidate = best.clone();
+        candidate.duration_hours /= 2;
+        match violates(&candidate, oracles) {
+            Some(v) => {
+                best = candidate;
+                violation = v;
+            }
+            None => break,
+        }
+    }
+
+    // 2. Prune the fault mix entry by entry (reverse order so removal
+    //    never disturbs the indices still to be probed).
+    for i in (0..best.fault_mix.len()).rev() {
+        let mut candidate = best.clone();
+        candidate.fault_mix.remove(i);
+        if let Some(v) = violates(&candidate, oracles) {
+            best = candidate;
+            violation = v;
+        }
+    }
+
+    // 3. Zero the remaining noise sources where the failure survives.
+    let reductions: [fn(&mut ScenarioSpec); 3] = [
+        |s| s.maintenance_per_day = 0.0,
+        |s| s.initial_fault_burden = 0,
+        |s| s.peak_jobs_per_day = 0.0,
+    ];
+    for reduce in reductions {
+        let mut candidate = best.clone();
+        reduce(&mut candidate);
+        if candidate == best {
+            continue;
+        }
+        if let Some(v) = violates(&candidate, oracles) {
+            best = candidate;
+            violation = v;
+        }
+    }
+
+    let dump = serde_json::to_string(&best).expect("spec serializes");
+    Some(Reproducer {
+        seed: spec.seed,
+        spec: best,
+        violation,
+        dump,
+    })
+}
+
+/// Replay a reproducer dump: parse the spec and re-run the oracle suite.
+/// The one-line regression test is
+/// `assert!(!replay(DUMP, &oracles).is_empty())` — or, once fixed,
+/// `assert!(replay(DUMP, &oracles).is_empty())`.
+pub fn replay(dump: &str, oracles: &Oracles) -> Vec<Violation> {
+    let spec: ScenarioSpec = serde_json::from_str(dump).expect("valid reproducer dump");
+    run_scenario(&spec, oracles).0
+}

@@ -1,0 +1,144 @@
+//! The swarm runner: N generated scenarios, rayon-parallel, each checked
+//! against the differential oracles; failures are shrunk to a minimal
+//! reproducer automatically.
+
+use crate::grammar::ScenarioSpec;
+use crate::oracle::{
+    check_conservation, check_engine_equivalence, check_fault_resolution,
+    check_kind_detectability, run_campaign, CampaignDigest, OracleKind, Violation,
+};
+use crate::shrink::{shrink, Reproducer};
+use rayon::prelude::*;
+use ttt_core::Engine;
+
+/// Which oracles a swarm (or a shrink probe) checks.
+#[derive(Debug, Clone)]
+pub struct Oracles {
+    /// NextEvent ≡ Lockstep bit-identity (runs the campaign twice).
+    pub equivalence: bool,
+    /// Fault resolution + per-kind detectability.
+    pub detection: bool,
+    /// Accounting invariants.
+    pub conservation: bool,
+    /// Self-test trip wire: fail any scenario that runs more than this
+    /// many tests. Real campaigns violate it at will, which is exactly the
+    /// point — it lets the swarm-and-shrink pipeline prove, in CI, that an
+    /// oracle violation produces a minimal replayable reproducer.
+    pub tests_run_limit: Option<u64>,
+}
+
+impl Default for Oracles {
+    fn default() -> Self {
+        Oracles {
+            equivalence: true,
+            detection: true,
+            conservation: true,
+            tests_run_limit: None,
+        }
+    }
+}
+
+/// The outcome of one scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The seed the scenario expanded from.
+    pub seed: u64,
+    /// The expanded spec.
+    pub spec: ScenarioSpec,
+    /// Oracle violations (empty = scenario passed).
+    pub violations: Vec<Violation>,
+    /// Minimal reproducer, when the scenario failed and shrinking was on.
+    pub reproducer: Option<Reproducer>,
+    /// Tests the (next-event) campaign ran.
+    pub tests_run: u64,
+}
+
+impl ScenarioOutcome {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregate result of a swarm run.
+#[derive(Debug)]
+pub struct SwarmReport {
+    /// Per-scenario outcomes, in seed order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl SwarmReport {
+    /// Whether every scenario passed every oracle.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(ScenarioOutcome::passed)
+    }
+
+    /// The failing outcomes.
+    pub fn failures(&self) -> Vec<&ScenarioOutcome> {
+        self.outcomes.iter().filter(|o| !o.passed()).collect()
+    }
+
+    /// Total tests run across all (next-event) campaigns.
+    pub fn total_tests_run(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.tests_run).sum()
+    }
+}
+
+/// Run one scenario through every enabled oracle.
+pub fn run_scenario(spec: &ScenarioSpec, oracles: &Oracles) -> (Vec<Violation>, u64) {
+    let campaign = run_campaign(spec, Engine::NextEvent);
+    let digest = CampaignDigest::capture(&campaign);
+    let mut violations = Vec::new();
+    if oracles.equivalence {
+        violations.extend(check_engine_equivalence(spec, &digest));
+    }
+    if oracles.detection {
+        violations.extend(check_fault_resolution(campaign.testbed()));
+        violations.extend(check_kind_detectability(spec));
+    }
+    if oracles.conservation {
+        violations.extend(check_conservation(&campaign));
+    }
+    if let Some(limit) = oracles.tests_run_limit {
+        if digest.tests_run > limit {
+            violations.push(Violation {
+                oracle: OracleKind::TestsRunLimit,
+                detail: format!("ran {} tests, limit {limit}", digest.tests_run),
+            });
+        }
+    }
+    (violations, digest.tests_run)
+}
+
+/// Expand and check one seed, shrinking on failure when `shrink_failures`.
+pub fn run_seed(seed: u64, oracles: &Oracles, shrink_failures: bool) -> ScenarioOutcome {
+    let spec = ScenarioSpec::from_seed(seed);
+    let (violations, tests_run) = run_scenario(&spec, oracles);
+    let reproducer = if !violations.is_empty() && shrink_failures {
+        shrink(&spec, oracles)
+    } else {
+        None
+    };
+    ScenarioOutcome {
+        seed,
+        spec,
+        violations,
+        reproducer,
+        tests_run,
+    }
+}
+
+/// Run `seeds` rayon-parallel through the oracle suite.
+pub fn run_swarm(seeds: &[u64], oracles: &Oracles, shrink_failures: bool) -> SwarmReport {
+    let outcomes: Vec<ScenarioOutcome> = seeds
+        .to_vec()
+        .into_par_iter()
+        .map(|seed| run_seed(seed, oracles, shrink_failures))
+        .collect();
+    SwarmReport { outcomes }
+}
+
+/// The conventional seed block `base..base+n` a swarm sweeps.
+pub fn seed_block(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| base + i).collect()
+}

@@ -1,0 +1,94 @@
+//! Property tests for [`EventQueue`]: ordering against a stable-sorted
+//! model, `peek`/`peek_time` agreement with `pop`, and the
+//! `drain_due_iter` contract versus the allocating `drain_due` wrapper
+//! (same sequence, lazy removal, dropped-iterator remainder intact).
+
+use proptest::prelude::*;
+use ttt_sim::{EventQueue, SimTime};
+
+/// A pushed event: `(time in seconds, payload)` — small time range so
+/// ties (the FIFO-stability case) are common.
+fn pushes() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    prop::collection::vec((0u64..12, 0u32..1000), 0..80)
+}
+
+fn filled(events: &[(u64, u32)]) -> EventQueue<u32> {
+    let mut q = EventQueue::new();
+    for &(t, e) in events {
+        q.push(SimTime::from_secs(t), e);
+    }
+    q
+}
+
+/// The model: pushes stable-sorted by time (ties keep insertion order).
+fn model(events: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let mut m = events.to_vec();
+    m.sort_by_key(|&(t, _)| t);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Popping everything yields the stable time-sorted push sequence.
+    #[test]
+    fn pops_equal_stable_sort(events in pushes()) {
+        let mut q = filled(&events);
+        let popped: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_secs(), e)).collect();
+        prop_assert_eq!(popped, model(&events));
+    }
+
+    /// `peek` and `peek_time` always preview exactly what `pop` returns,
+    /// and never remove anything.
+    #[test]
+    fn peek_previews_pop(events in pushes()) {
+        let mut q = filled(&events);
+        loop {
+            let peeked = q.peek().map(|(t, &e)| (t, e));
+            prop_assert_eq!(q.peek_time(), peeked.map(|(t, _)| t));
+            let len_before = q.len();
+            let popped = q.pop();
+            prop_assert_eq!(peeked, popped);
+            match popped {
+                Some(_) => prop_assert_eq!(q.len(), len_before - 1),
+                None => break,
+            }
+        }
+    }
+
+    /// `drain_due_iter` yields exactly `drain_due`'s sequence (it is the
+    /// same contract minus the allocation) and leaves the future suffix.
+    #[test]
+    fn drain_due_iter_matches_drain_due(events in pushes(), now in 0u64..14) {
+        let now = SimTime::from_secs(now);
+        let mut lazy = filled(&events);
+        let mut eager = filled(&events);
+        let collected: Vec<(SimTime, u32)> = lazy.drain_due_iter(now).collect();
+        prop_assert_eq!(&collected, &eager.drain_due(now));
+        prop_assert_eq!(lazy.len(), eager.len());
+        // Everything due is out; everything left is strictly in the future.
+        let due = model(&events).iter().filter(|&&(t, _)| SimTime::from_secs(t) <= now).count();
+        prop_assert_eq!(collected.len(), due);
+        if let Some(t) = lazy.peek_time() {
+            prop_assert!(t > now);
+        }
+    }
+
+    /// Lazy removal: consuming only `k` items of the draining iterator
+    /// removes exactly those `k`; dropping it keeps the remainder popping
+    /// in order.
+    #[test]
+    fn partial_drain_keeps_remainder(events in pushes(), now in 0u64..14, k in 0usize..20) {
+        let now = SimTime::from_secs(now);
+        let mut q = filled(&events);
+        let total = q.len();
+        let taken: Vec<(SimTime, u32)> = q.drain_due_iter(now).take(k).collect();
+        prop_assert_eq!(q.len(), total - taken.len());
+        // The remainder is the model sequence minus the taken prefix.
+        let rest: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_secs(), e)).collect();
+        let expected: Vec<(u64, u32)> = model(&events).split_off(taken.len());
+        prop_assert_eq!(rest, expected);
+    }
+}

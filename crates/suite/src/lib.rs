@@ -27,8 +27,7 @@ pub mod dispatch;
 pub mod families;
 pub mod regression;
 pub mod report;
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 
 pub use config::{build_suite, family_counts, Family, Target, TestConfig};
 pub use ctx::TestCtx;

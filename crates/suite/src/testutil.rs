@@ -1,5 +1,10 @@
-//! Test harness for family unit tests: a small testbed with every service
-//! stood up, plus automatic node assignment per configuration.
+//! Shared test harness: a small testbed with every service stood up
+//! (testbed + refapi + oar + kavlan + kwapi + deployer), plus automatic
+//! node assignment per configuration.
+//!
+//! Family unit tests, the end-to-end detection matrix and the scenario
+//! swarm's detection-soundness oracle all run test configurations through
+//! this one [`Harness`] instead of each wiring their own copy of the world.
 
 use crate::config::{Target, TestConfig};
 use crate::ctx::TestCtx;
@@ -31,9 +36,21 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Build a small-testbed harness with the given RNG seed.
+    /// Build a small-testbed harness with the given RNG seed (on the
+    /// default `"suite-harness"` stream).
     pub fn new(seed: u64) -> Self {
-        let tb = TestbedBuilder::small().build();
+        Harness::with_stream(seed, "suite-harness")
+    }
+
+    /// Build a small-testbed harness drawing from a named RNG stream, so
+    /// callers that used to own their RNG (the detection matrix) keep the
+    /// exact same draws.
+    pub fn with_stream(seed: u64, stream: &str) -> Self {
+        Harness::from_testbed(TestbedBuilder::small().build(), seed, stream)
+    }
+
+    /// Stand every service up around an already-built testbed.
+    pub fn from_testbed(tb: Testbed, seed: u64, stream: &str) -> Self {
         let mut refapi = RefApi::new();
         refapi.publish_from(&tb, SimTime::ZERO);
         let oar = OarServer::new(&tb, refapi.latest().unwrap());
@@ -48,7 +65,7 @@ impl Harness {
             images: standard_images(),
             assigned: Vec::new(),
             now: SimTime::from_hours(3),
-            rng: stream_rng(seed, "suite-harness"),
+            rng: stream_rng(seed, stream),
         }
     }
 
@@ -96,8 +113,19 @@ impl Harness {
     }
 
     /// Run one configuration, deriving the assignment unless `assigned`
-    /// was set explicitly.
+    /// was set explicitly, and advance the harness clock by the test's
+    /// virtual duration.
     pub fn run(&mut self, cfg: &TestConfig) -> TestReport {
+        let report = self.run_static(cfg);
+        self.now += report.duration;
+        report
+    }
+
+    /// Run one configuration at the harness's current instant without
+    /// advancing the clock — probabilistic detection loops (the detection
+    /// matrix, the swarm's soundness oracle) re-run a family many times at
+    /// one fixed instant.
+    pub fn run_static(&mut self, cfg: &TestConfig) -> TestReport {
         let assigned = if self.assigned.is_empty() {
             self.derive_assignment(cfg)
         } else {
@@ -115,8 +143,6 @@ impl Harness {
             now: self.now,
             rng: &mut self.rng,
         };
-        let report = run_test(cfg, &mut ctx);
-        self.now += report.duration;
-        report
+        run_test(cfg, &mut ctx)
     }
 }

@@ -16,10 +16,11 @@ use crate::node::{Node, NodeCondition};
 use crate::site::Site;
 use crate::testbed::Testbed;
 use crate::topology::{Pdu, PortRef, Switch, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Specification of one cluster to generate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Cluster name.
     pub name: String,
@@ -40,7 +41,8 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
-    fn new(
+    /// Convenience constructor (GPU-less; chain [`ClusterSpec::with_gpu`]).
+    pub fn new(
         name: &str,
         site: &str,
         nodes: u32,
@@ -61,7 +63,8 @@ impl ClusterSpec {
         }
     }
 
-    fn with_gpu(mut self) -> Self {
+    /// Mark the cluster's nodes as carrying GPUs.
+    pub fn with_gpu(mut self) -> Self {
         self.has_gpu = true;
         self
     }

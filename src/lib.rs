@@ -31,6 +31,7 @@ pub use ttt_kwapi as kwapi;
 pub use ttt_nodecheck as nodecheck;
 pub use ttt_oar as oar;
 pub use ttt_refapi as refapi;
+pub use ttt_scengen as scengen;
 pub use ttt_sim as sim;
 pub use ttt_status as status;
 pub use ttt_suite as suite;

@@ -4,114 +4,46 @@
 //!
 //! This is the core soundness property of the reproduction: the paper's
 //! bug catalogue (slide 22) is detectable by the coverage of slide 21.
+//! `throughout::scengen::oracle::coverage_for` encodes the whole matrix as
+//! an exhaustive match (shared with the swarm's detection-soundness
+//! oracle), so adding a `FaultKind` variant without declaring its
+//! detecting family is a compile error, and
+//! `every_fault_kind_detected_across_seeds` runs the complete matrix over
+//! eight seeds.
 
-use rand::rngs::SmallRng;
-use throughout::core::matching::find_fault;
-use throughout::kadeploy::{standard_images, Deployer};
-use throughout::kavlan::KavlanManager;
-use throughout::kwapi::MetricStore;
-use throughout::oar::OarServer;
-use throughout::refapi::RefApi;
-use throughout::sim::rng::stream_rng;
-use throughout::sim::{SimDuration, SimTime};
-use throughout::suite::{run_test, Family, Target, TestConfig, TestCtx, TestReport};
-use throughout::testbed::{FaultKind, FaultTarget, NodeId, ServiceKind, Testbed, TestbedBuilder};
-
-struct World {
-    tb: Testbed,
-    refapi: RefApi,
-    oar: OarServer,
-    kavlan: KavlanManager,
-    kwapi: MetricStore,
-    deployer: Deployer,
-    images: Vec<throughout::kadeploy::Environment>,
-    rng: SmallRng,
-}
-
-impl World {
-    fn new(seed: u64) -> Self {
-        let tb = TestbedBuilder::small().build();
-        let mut refapi = RefApi::new();
-        refapi.publish_from(&tb, SimTime::ZERO);
-        let oar = OarServer::new(&tb, refapi.latest().unwrap());
-        let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(1));
-        World {
-            oar,
-            kwapi,
-            tb,
-            refapi,
-            kavlan: KavlanManager::new(),
-            deployer: Deployer::default(),
-            images: standard_images(),
-            rng: stream_rng(seed, "detection-matrix"),
-        }
-    }
-
-    fn run(&mut self, cfg: &TestConfig, assigned: &[NodeId]) -> TestReport {
-        let mut ctx = TestCtx {
-            tb: &mut self.tb,
-            refapi: &self.refapi,
-            oar: &self.oar,
-            kavlan: &mut self.kavlan,
-            kwapi: &mut self.kwapi,
-            deployer: &self.deployer,
-            images: &self.images,
-            assigned,
-            now: SimTime::from_hours(3),
-            rng: &mut self.rng,
-        };
-        run_test(cfg, &mut ctx)
-    }
-}
+use throughout::scengen::oracle::{coverage_for, detection_failure};
+use throughout::suite::{Family, Target};
+use throughout::testbed::FaultKind;
 
 /// Inject `kind` on alpha-1 (or the alpha service), run `family`, and
 /// require a diagnostic that maps back to the injected fault. Families with
-/// probabilistic detection retry up to `max_runs`.
+/// probabilistic detection retry up to `max_runs`. The inject → run →
+/// attribute loop is `scengen`'s, shared with the swarm's
+/// detection-soundness oracle.
 fn assert_detected(kind: FaultKind, family: Family, target: Target, max_runs: usize) {
-    assert_detected_on(kind, family, target, max_runs, "alpha")
+    assert_detected_seeded(kind, family, target, max_runs, "alpha", kind as u64 + 1)
 }
 
-fn assert_detected_on(
+fn assert_detected_seeded(
     kind: FaultKind,
     family: Family,
     target: Target,
     max_runs: usize,
     cluster_name: &str,
+    seed: u64,
 ) {
-    let mut w = World::new(kind as u64 + 1);
-    let alpha = w.tb.cluster_by_name(cluster_name).unwrap().nodes.clone();
-    let fault_target = match kind {
-        FaultKind::CablingSwap => FaultTarget::NodePair(alpha[0], alpha[1]),
-        FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
-            FaultTarget::Service(w.tb.sites()[0].id, ServiceKind::KadeployServer)
-        }
-        _ => FaultTarget::Node(alpha[0]),
-    };
-    let fault = w
-        .tb
-        .apply_fault(kind, fault_target, SimTime::ZERO)
-        .unwrap_or_else(|| panic!("{kind} must apply"));
-    let cfg = TestConfig { family, target };
-    // Assignments: hardware-centric take the cluster; site tests take two
-    // nodes; everything else takes the faulty node.
-    let assigned: Vec<NodeId> = if cfg.family.hardware_centric() {
-        alpha.clone()
-    } else if matches!(cfg.target, Target::Site(_)) {
-        vec![alpha[0], alpha[2]]
-    } else {
-        vec![alpha[0]]
-    };
-    for _ in 0..max_runs {
-        let report = w.run(&cfg, &assigned);
-        for d in &report.diagnostics {
-            if let Some(found) = find_fault(&w.tb, &d.signature) {
-                if found.id == fault.id {
-                    return; // detected and correctly attributed
-                }
-            }
-        }
+    let failure = detection_failure(
+        kind,
+        family,
+        target,
+        max_runs,
+        cluster_name,
+        seed,
+        "detection-matrix",
+    );
+    if let Some(detail) = failure {
+        panic!("{detail}");
     }
-    panic!("{kind} never detected by {family} in {max_runs} runs");
 }
 
 fn cluster() -> Target {
@@ -120,6 +52,33 @@ fn cluster() -> Target {
 
 fn site() -> Target {
     Target::Site("east".into())
+}
+
+// The named per-kind tests below are not redundant with the exhaustive
+// matrix: they pin *tighter* retry budgets at their original seeds (e.g.
+// turbo within 3 runs, random reboots within 200) than the seed-robust
+// budgets `coverage_for` grants the swarm, so a regression in detection
+// probability fails here before it erodes the swarm's generous bounds.
+
+/// The full matrix, exhaustively: every fault kind, eight seeds each. The
+/// coverage table (`coverage_for`) is the same exhaustive match the swarm's
+/// detection-soundness oracle uses, so the matrix and the swarm always
+/// assert one coverage claim.
+#[test]
+fn every_fault_kind_detected_across_seeds() {
+    for kind in FaultKind::ALL {
+        let (family, target, max_runs, cluster) = coverage_for(kind);
+        for seed in 1..=8u64 {
+            assert_detected_seeded(
+                kind,
+                family,
+                target.clone(),
+                max_runs,
+                cluster,
+                seed * 1000 + kind as u64,
+            );
+        }
+    }
 }
 
 #[test]
@@ -166,12 +125,13 @@ fn dimm_failure_detected_by_oarproperties() {
 fn nic_downgrade_detected_by_oarproperties() {
     // alpha is an old 1G cluster where a downgrade cannot apply; beta is
     // the 10G cluster.
-    assert_detected_on(
+    assert_detected_seeded(
         FaultKind::NicDowngrade,
         Family::OarProperties,
         Target::Cluster("beta".into()),
         1,
         "beta",
+        FaultKind::NicDowngrade as u64 + 1,
     );
 }
 

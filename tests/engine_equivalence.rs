@@ -3,81 +3,21 @@
 //! metrics, same tracker counts, same scheduler decisions — because it
 //! processes exactly the grid instants where something is due and skips
 //! only provably-inert ticks.
+//!
+//! The observable state is captured by `scengen`'s [`CampaignDigest`]
+//! (floats taken bitwise, so "identical" means identical); the scenario
+//! swarm (`tests/scenario_swarm.rs`) extends the same check from these
+//! hand-written scenarios to the whole generated grammar.
 
 use throughout::core::{Campaign, CampaignConfig, Engine, SchedulingMode};
+use throughout::scengen::CampaignDigest;
 use throughout::sim::SimDuration;
 
-/// Everything observable a campaign produces, with floats captured bitwise
-/// so "identical" means identical.
-#[derive(Debug, PartialEq, Eq)]
-struct Summary {
-    tests_run: u64,
-    tests_failed: u64,
-    unstable_builds: u64,
-    filed: usize,
-    fixed: usize,
-    triggered: u64,
-    deferred_peak: u64,
-    deferred_site: u64,
-    deferred_resources: u64,
-    cancelled_not_immediate: u64,
-    completions: Vec<(String, u64)>,
-    weekly_means: Vec<(usize, u64)>,
-    monthly_means: Vec<(usize, u64)>,
-    bug_snapshots: Vec<(u64, usize, usize)>,
-    executor_busy: (u64, u64),
-    oar_utilization: (u64, u64),
-    active_faults: usize,
-    grid_rows: Vec<String>,
-}
-
-fn run(mut cfg: CampaignConfig, engine: Engine) -> Summary {
+fn run(mut cfg: CampaignConfig, engine: Engine) -> CampaignDigest {
     cfg.engine = engine;
     let mut c = Campaign::new(cfg);
     c.run();
-    let m = c.metrics();
-    let stats = &c.scheduler().stats;
-    Summary {
-        tests_run: m.tests_run,
-        tests_failed: m.tests_failed,
-        unstable_builds: m.unstable_builds,
-        filed: c.tracker().filed(),
-        fixed: c.tracker().fixed(),
-        triggered: stats.triggered,
-        deferred_peak: stats.deferred_peak,
-        deferred_site: stats.deferred_site,
-        deferred_resources: stats.deferred_resources,
-        cancelled_not_immediate: stats.cancelled_not_immediate,
-        completions: m
-            .completions_per_family
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect(),
-        weekly_means: m
-            .weekly_success
-            .means()
-            .into_iter()
-            .map(|(i, v)| (i, v.to_bits()))
-            .collect(),
-        monthly_means: m
-            .monthly_success
-            .means()
-            .into_iter()
-            .map(|(i, v)| (i, v.to_bits()))
-            .collect(),
-        bug_snapshots: m
-            .bug_snapshots
-            .iter()
-            .map(|(t, a, b)| (t.as_nanos(), *a, *b))
-            .collect(),
-        executor_busy: (m.executor_busy.count(), m.executor_busy.mean().to_bits()),
-        oar_utilization: (
-            m.oar_utilization.count(),
-            m.oar_utilization.mean().to_bits(),
-        ),
-        active_faults: c.testbed().active_faults().len(),
-        grid_rows: c.status_grid().jobs.clone(),
-    }
+    CampaignDigest::capture(&c)
 }
 
 #[test]
@@ -119,6 +59,16 @@ fn paper_scale_scheduling_scenario_identical_across_engines() {
         assert_eq!(lockstep, event, "paper-scale seed {seed} diverged");
         assert!(event.tests_run > 0);
     }
+}
+
+#[test]
+fn digest_diff_names_the_diverging_fields() {
+    let a = run(CampaignConfig::small(7), Engine::NextEvent);
+    let mut b = a.clone();
+    assert!(a.diff(&b).is_empty());
+    b.tests_run += 1;
+    b.filed += 1;
+    assert_eq!(a.diff(&b), vec!["tests_run", "filed"]);
 }
 
 #[test]

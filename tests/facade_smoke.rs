@@ -82,4 +82,8 @@ fn every_reexport_is_reachable() {
     // core: the paper scenario config targets the paper testbed.
     let cfg = throughout::core::scenario::paper_scenario(2017);
     assert!(cfg.duration > SimDuration::ZERO);
+
+    // scengen: a seed expands into a runnable scenario spec.
+    let spec = throughout::scengen::ScenarioSpec::from_seed(2017);
+    assert!(spec.node_count() > 0);
 }

@@ -1,0 +1,137 @@
+//! The scenario swarm, as a tier-1 gate: ≥32 generated scenarios must pass
+//! every differential oracle (engine equivalence, detection soundness,
+//! conservation), and an intentionally injected oracle violation must be
+//! shrunk to a minimal reproducer whose dump replays as a one-liner.
+
+use throughout::scengen::{
+    replay, run_scenario, run_seed, run_swarm, seed_block, shrink, Oracles, OracleKind,
+    ScenarioSpec,
+};
+
+/// The headline acceptance: a 32-seed swarm, all oracles on.
+#[test]
+fn swarm_of_32_seeds_passes_every_oracle() {
+    let report = run_swarm(&seed_block(1, 32), &Oracles::default(), true);
+    let mut log = String::new();
+    for o in report.failures() {
+        for v in &o.violations {
+            log.push_str(&format!("\nseed {}: {v}", o.seed));
+        }
+        if let Some(r) = &o.reproducer {
+            log.push_str(&format!("\nseed {}: reproducer {}", o.seed, r.dump));
+        }
+    }
+    assert!(report.all_passed(), "swarm failures:{log}");
+    assert_eq!(report.outcomes.len(), 32);
+    // The swarm exercises real campaigns, not empty worlds.
+    assert!(
+        report.total_tests_run() > 1000,
+        "swarm only ran {} tests",
+        report.total_tests_run()
+    );
+    // Outcomes come back in seed order (rayon map preserves input order).
+    let seeds: Vec<u64> = report.outcomes.iter().map(|o| o.seed).collect();
+    assert_eq!(seeds, seed_block(1, 32));
+}
+
+/// The grammar actually spans the dimensions it promises: across a block
+/// of seeds both scheduling modes, several rollout patterns and a range of
+/// topologies appear.
+#[test]
+fn grammar_covers_its_dimensions() {
+    use throughout::scengen::{ModeDim, RolloutDim};
+    let specs: Vec<ScenarioSpec> = (1..=64).map(ScenarioSpec::from_seed).collect();
+    assert!(specs.iter().any(|s| s.mode == ModeDim::External));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.mode, ModeDim::NaiveCron { .. })));
+    assert!(specs.iter().any(|s| s.rollout == RolloutDim::AllAtStart));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.rollout, RolloutDim::Staged { .. })));
+    assert!(specs.iter().any(|s| s.rollout == RolloutDim::NoTesting));
+    assert!(specs.iter().any(|s| s.per_node_hardware));
+    let min_nodes = specs.iter().map(ScenarioSpec::node_count).min().unwrap();
+    let max_nodes = specs.iter().map(ScenarioSpec::node_count).max().unwrap();
+    assert!(min_nodes < max_nodes, "topologies do not vary");
+    // Every fault kind appears in some scenario's mix.
+    for kind in throughout::testbed::FaultKind::ALL {
+        assert!(
+            specs
+                .iter()
+                .any(|s| s.fault_mix.iter().any(|&(k, _)| k == kind)),
+            "{kind} never generated"
+        );
+    }
+}
+
+/// An intentionally injected oracle violation (the tests-run trip wire)
+/// must come back as a minimal reproducer seed + config dump.
+#[test]
+fn injected_violation_shrinks_to_minimal_reproducer() {
+    let oracles = Oracles {
+        // The real oracles stay off so the probe budget goes to shrinking;
+        // the trip wire plays the role of a genuine invariant violation.
+        equivalence: false,
+        detection: false,
+        conservation: false,
+        tests_run_limit: Some(50),
+    };
+    let outcome = run_seed(1, &oracles, true);
+    assert!(
+        !outcome.passed(),
+        "seed 1 must trip the 50-test limit (ran {})",
+        outcome.tests_run
+    );
+    assert_eq!(outcome.violations[0].oracle, OracleKind::TestsRunLimit);
+
+    let repro = outcome.reproducer.expect("failure must shrink");
+    assert_eq!(repro.seed, 1);
+    // Shrinking made real progress on both announced axes.
+    assert!(
+        repro.spec.duration_hours < outcome.spec.duration_hours,
+        "horizon was not bisected: {} h",
+        repro.spec.duration_hours
+    );
+    assert!(
+        repro.spec.fault_mix.len() < outcome.spec.fault_mix.len()
+            || outcome.spec.fault_mix.is_empty(),
+        "fault mix was not pruned: {} entries",
+        repro.spec.fault_mix.len()
+    );
+
+    // The dump replays as a one-line regression test and still violates.
+    let violations = replay(&repro.dump, &oracles);
+    assert_eq!(violations, vec![repro.violation.clone()]);
+
+    // And the dump is the spec, exactly (JSON round-trip).
+    let reparsed: ScenarioSpec = serde_json::from_str(&repro.dump).unwrap();
+    assert_eq!(reparsed, repro.spec);
+}
+
+/// Regression, found by the swarm itself (seed 117, NaiveCron mode): when
+/// `start_work` finished a build immediately (unstable — no testbed
+/// resources), the freed executor plus the still-queued builds were due
+/// work on the very next grid instant, but the next-event engine had no
+/// wake term for that state and slept until the next unrelated event,
+/// diverging from lockstep on every subsequently planned OAR job. Keep the
+/// seed pinned on the full oracle suite.
+#[test]
+fn swarm_regression_seed_117_engine_equivalence() {
+    let (violations, tests_run) = run_scenario(&ScenarioSpec::from_seed(117), &Oracles::default());
+    assert!(violations.is_empty(), "seed 117 regressed: {violations:?}");
+    assert!(tests_run > 0);
+}
+
+/// A spec that violates nothing does not shrink into a reproducer.
+#[test]
+fn passing_spec_does_not_shrink() {
+    let oracles = Oracles {
+        equivalence: false,
+        detection: false,
+        conservation: true,
+        tests_run_limit: None,
+    };
+    let spec = ScenarioSpec::from_seed(3);
+    assert!(shrink(&spec, &oracles).is_none());
+}
