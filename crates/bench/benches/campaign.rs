@@ -54,6 +54,41 @@ fn bench_paper_scale_day(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_site_day(c: &mut Criterion) {
+    // The federation acceptance bench: the 8-site paper testbed with
+    // site-scoped faults (outages, partitions, skew) arriving aggressively
+    // — per-site queues, failover and spillover on the hot path, on a
+    // one-minute decision grid (site failures deserve minute-level
+    // detection latency). The next-event engine must stay no slower than
+    // lockstep here: its wake computation now spans every site's queues,
+    // while lockstep grinds all 1440 grid instants.
+    let mut group = c.benchmark_group("campaign/multi_site");
+    group.sample_size(10);
+    for (name, engine) in [
+        ("one_day", Engine::NextEvent),
+        ("one_day_lockstep", Engine::Lockstep),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ttt_core::scenario::multi_site_scenario(42);
+                    cfg.duration = SimDuration::from_days(1);
+                    cfg.tick = SimDuration::from_mins(1);
+                    cfg.engine = engine;
+                    cfg
+                },
+                |cfg| {
+                    let mut campaign = Campaign::new(cfg);
+                    campaign.run();
+                    black_box(campaign.metrics().tests_run)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_quiet_month(c: &mut Criterion) {
     // The next-event engine's home turf: a quiet paper-scale month (no
     // tests, no faults, no users) on a fine one-minute decision grid. The
@@ -94,6 +129,7 @@ criterion_group!(
     benches,
     bench_small_campaign,
     bench_paper_scale_day,
+    bench_multi_site_day,
     bench_quiet_month
 );
 criterion_main!(benches);

@@ -25,7 +25,7 @@ use ttt_kadeploy::{standard_images, Deployer, Environment};
 use ttt_kavlan::KavlanManager;
 use ttt_kwapi::MetricStore;
 use ttt_oar::{
-    JobId as OarJobId, JobKind as OarJobKind, JobState, OarServer, Queue, ResourceRequest,
+    FedJob, FedJobState, Federation, JobKind as OarJobKind, Queue, ResourceRequest,
     UserLoadGenerator,
 };
 use ttt_refapi::RefApi;
@@ -40,7 +40,7 @@ use ttt_testbed::{FaultInjector, FaultKind, Testbed, TestbedBuilder};
 struct RunningTest {
     build: BuildRef,
     suite_idx: usize,
-    oar_job: OarJobId,
+    oar_job: FedJob,
     report: TestReport,
 }
 
@@ -48,7 +48,7 @@ struct RunningTest {
 struct BlockedWork {
     build: BuildRef,
     suite_idx: usize,
-    oar_job: OarJobId,
+    oar_job: FedJob,
 }
 
 /// The whole system, advancing in lockstep over virtual time.
@@ -56,7 +56,9 @@ pub struct Campaign {
     cfg: CampaignConfig,
     tb: Testbed,
     refapi: RefApi,
-    oar: OarServer,
+    /// Per-site scheduling domains: each site runs its own OAR server and
+    /// the driver shards placement across them.
+    fed: Federation,
     ci: CiServer,
     sched: ExternalScheduler,
     kavlan: KavlanManager,
@@ -71,6 +73,9 @@ pub struct Campaign {
     suite: Vec<TestConfig>,
     /// Precomputed `suite[i].id()` strings (scheduler callback keys).
     suite_ids: Vec<String>,
+    /// Precomputed home scheduling domain per configuration (the site
+    /// whose resources the test consumes).
+    suite_home: Vec<Option<usize>>,
     /// ci job → cell → suite index (nested so lookups borrow, not clone).
     by_key: HashMap<String, HashMap<Option<String>, usize>>,
     enabled: Vec<bool>,
@@ -132,7 +137,7 @@ impl Campaign {
             }
         }
 
-        let oar = OarServer::new(&tb, refapi.latest().expect("published"));
+        let fed = Federation::new(&tb, refapi.latest().expect("published"));
         let mut ci = CiServer::new(cfg.executors);
         let images = standard_images();
         let suite = build_suite(&tb, &images);
@@ -151,6 +156,10 @@ impl Campaign {
                 .insert(c.cell(), i);
         }
         let suite_ids: Vec<String> = suite.iter().map(|c| c.id()).collect();
+        let suite_home: Vec<Option<usize>> = suite
+            .iter()
+            .map(|c| fed.domain_by_name(&c.site(&tb)))
+            .collect();
         let clusters = tb.clusters().iter().map(|c| c.name.clone()).collect();
         let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(5));
         let n = suite.len();
@@ -165,7 +174,7 @@ impl Campaign {
             rng_test: rngs.stream("tests"),
             tb,
             refapi,
-            oar,
+            fed,
             ci,
             kavlan: KavlanManager::new(),
             kwapi,
@@ -175,6 +184,7 @@ impl Campaign {
             metrics: CampaignMetrics::default(),
             suite,
             suite_ids,
+            suite_home,
             by_key,
             enabled: vec![false; n],
             naive_due: vec![SimTime::ZERO; n],
@@ -211,9 +221,10 @@ impl Campaign {
         &self.sched
     }
 
-    /// The OAR server (inspection from examples/benches).
-    pub fn oar(&self) -> &OarServer {
-        &self.oar
+    /// The federated resource layer (inspection from examples/benches and
+    /// the swarm's conservation oracle).
+    pub fn federation(&self) -> &Federation {
+        &self.fed
     }
 
     /// The CI server (executor accounting, build histories).
@@ -264,7 +275,15 @@ impl Campaign {
                 let anchor = self.now;
                 let tick = self.cfg.tick.as_nanos().max(1);
                 while self.now < until {
-                    let t = match self.next_wake() {
+                    // The smallest grid instant > now: any wake at or
+                    // before it snaps there, so `next_wake` may stop
+                    // scanning subsystems as soon as one is due that soon.
+                    let next_grid = {
+                        let off = (self.now.as_nanos() + 1).saturating_sub(anchor.as_nanos());
+                        let k = off.div_ceil(tick);
+                        anchor + SimDuration::from_nanos(k.saturating_mul(tick))
+                    };
+                    let t = match self.next_wake(next_grid) {
                         Some(wake) => {
                             // Smallest grid instant that is > now and ≥ wake.
                             let wake = wake.max(self.now + SimDuration::from_nanos(1));
@@ -284,42 +303,36 @@ impl Campaign {
     /// The earliest instant at which any subsystem has work to do, from
     /// the campaign's current instant. `None` means the world is quiet
     /// until the horizon.
-    fn next_wake(&mut self) -> Option<SimTime> {
+    ///
+    /// `next_grid` is the smallest grid instant after `now`: every wake at
+    /// or before it snaps there anyway, so the scan stops as soon as one
+    /// subsystem is due that soon. In saturated campaigns (something due
+    /// every tick) this keeps the event engine's bookkeeping out of the
+    /// hot loop — it degrades to lockstep's cost instead of lockstep plus
+    /// a full wake computation per tick. Peeks are idempotent (arrival
+    /// streams cache their primed draw), so skipping the later terms on
+    /// one wake never perturbs any stochastic stream.
+    fn next_wake(&mut self, next_grid: SimTime) -> Option<SimTime> {
         let mut wake: Option<SimTime> = None;
-        let merge = |t: Option<SimTime>, wake: &mut Option<SimTime>| {
-            *wake = match (*wake, t) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
+        macro_rules! merge {
+            ($t:expr) => {
+                wake = match (wake, $t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if wake.is_some_and(|w| w <= next_grid) {
+                    return wake;
+                }
             };
-        };
-        // Test completions.
-        merge(self.running.peek_time(), &mut wake);
-        // OAR job starts/ends and planning-horizon re-plan instants.
-        merge(self.oar.next_event_time(), &mut wake);
-        // User-load candidate arrivals (primed with advance's own draw).
-        merge(
-            self.userload.next_event(self.oar.now(), &mut self.rng_user),
-            &mut wake,
-        );
-        // Fault and maintenance arrivals.
-        merge(self.injector.next_event(&mut self.rng_inject), &mut wake);
-        // CI cron triggers (none in campaign configs, but kept honest).
-        merge(self.ci.next_cron_firing(), &mut wake);
-        // Scheduling decisions.
-        match self.cfg.mode {
-            SchedulingMode::External => merge(self.sched.next_due_time(), &mut wake),
-            SchedulingMode::NaiveCron { .. } => merge(self.peek_naive_due(), &mut wake),
         }
-        // Rollout phases.
-        merge(
-            self.cfg.rollout.phases.get(self.next_phase).map(|p| p.0),
-            &mut wake,
-        );
-        // Testbed alive-state changed since the last sync (operator repairs
-        // land between syncs): reconcile on the very next grid instant,
-        // exactly when the lockstep engine would.
+        // Cheapest immediate-wake terms first (each short-circuits the
+        // whole scan when it fires).
+        //
+        // Testbed alive-state changed since the last sync (operator
+        // repairs land between syncs): reconcile on the very next grid
+        // instant, exactly when the lockstep engine would.
         if !self.tb.alive_dirty().is_empty() {
-            merge(Some(self.now + SimDuration::from_nanos(1)), &mut wake);
+            merge!(Some(self.now + SimDuration::from_nanos(1)));
         }
         // A free executor with builds still queued: `start_work` can finish
         // a build immediately (unstable — no testbed resources), freeing
@@ -327,29 +340,50 @@ impl Campaign {
         // lockstep engine picks the next queued build up on the very next
         // grid instant; wake then so this engine does too.
         if self.ci.queue_len() > 0 && self.ci.busy_executors() < self.ci.executor_count() {
-            merge(Some(self.now + SimDuration::from_nanos(1)), &mut wake);
+            merge!(Some(self.now + SimDuration::from_nanos(1)));
         }
+        // Test completions.
+        merge!(self.running.peek_time());
+        // Scheduling decisions.
+        match self.cfg.mode {
+            SchedulingMode::External => {
+                merge!(self.sched.next_due_time());
+            }
+            SchedulingMode::NaiveCron { .. } => {
+                merge!(self.peek_naive_due());
+            }
+        }
+        // User-load candidate arrivals (primed with advance's own draw).
+        merge!(self.userload.next_event(self.fed.now(), &mut self.rng_user));
+        // Fault and maintenance arrivals.
+        merge!(self.injector.next_event(&mut self.rng_inject));
+        // OAR job starts/ends and planning-horizon re-plan instants,
+        // across every site's queues (the widest scan, hence last of the
+        // event sources).
+        merge!(self.fed.next_event_time());
+        // CI cron triggers (none in campaign configs, but kept honest).
+        merge!(self.ci.next_cron_firing());
+        // Rollout phases.
+        merge!(self.cfg.rollout.phases.get(self.next_phase).map(|p| p.0));
         // Operator and metrics cadences.
-        merge(Some(self.last_op_step + self.cfg.operator_cadence), &mut wake);
-        merge(Some(self.last_sample + self.cfg.sample_cadence), &mut wake);
-        merge(
-            Some(self.last_snapshot + SimDuration::from_days(1)),
-            &mut wake,
-        );
+        merge!(Some(self.last_op_step + self.cfg.operator_cadence));
+        merge!(Some(self.last_sample + self.cfg.sample_cadence));
+        merge!(Some(self.last_snapshot + SimDuration::from_days(1)));
         wake
     }
 
     fn step_to(&mut self, t: SimTime) {
         self.now = t;
-        // 1. Users compete for the testbed.
-        self.userload.advance(t, &mut self.oar, &mut self.rng_user);
-        self.oar.advance(t);
+        // 1. Users compete for the testbed, across all sites.
+        self.userload
+            .advance_fed(t, &mut self.fed, &mut self.rng_user);
+        self.fed.advance(t);
         // 2. Faults arrive.
         self.injector.advance(t, &mut self.tb, &mut self.rng_inject);
-        // 3. OAR notices dead/repaired hardware (diff of flipped nodes
-        //    only — no full testbed rescan).
+        // 3. Every site's OAR notices dead/repaired hardware (diff of
+        //    flipped nodes only — no full testbed rescan).
         let dirty = self.tb.take_alive_dirty();
-        self.oar.sync_dirty_nodes(&self.tb, &dirty);
+        self.fed.sync_dirty_nodes(&self.tb, &dirty);
         // 4. New test families roll out.
         self.apply_rollout(t);
         // 5. Finish tests whose virtual duration elapsed.
@@ -363,7 +397,7 @@ impl Campaign {
         match self.cfg.mode {
             SchedulingMode::External => {
                 self.sched
-                    .run_due(t, &mut self.ci, &self.oar, &mut self.rng_sched);
+                    .run_due(t, &mut self.ci, &self.fed, &mut self.rng_sched);
             }
             SchedulingMode::NaiveCron { period } => self.naive_trigger(t, period),
         }
@@ -390,7 +424,7 @@ impl Campaign {
             self.metrics
                 .executor_busy
                 .push(self.ci.busy_executors() as f64 / self.ci.executor_count() as f64);
-            self.metrics.oar_utilization.push(self.oar.utilization());
+            self.metrics.oar_utilization.push(self.fed.utilization());
         }
         if t.since(self.last_snapshot) >= SimDuration::from_days(1) {
             self.last_snapshot = t;
@@ -520,9 +554,13 @@ impl Campaign {
             return;
         };
         let request = self.request_for(idx);
-        let submitted = self
-            .oar
-            .submit("ci", Queue::Admin, OarJobKind::Test, request);
+        let submitted = self.fed.submit(
+            "ci",
+            Queue::Admin,
+            OarJobKind::Test,
+            request,
+            self.suite_home[idx],
+        );
         let oar_job = match submitted {
             Ok(id) => id,
             Err(_) => {
@@ -546,11 +584,7 @@ impl Campaign {
                 return;
             }
         };
-        let started = self
-            .oar
-            .job(oar_job)
-            .map(|j| j.state == JobState::Running)
-            .unwrap_or(false);
+        let started = self.fed.job_state(&oar_job) == FedJobState::Running;
         if started {
             self.execute_test(item.build, idx, oar_job, t);
             return;
@@ -558,7 +592,7 @@ impl Campaign {
         match self.cfg.mode {
             SchedulingMode::External => {
                 // The paper's rule: cancel + mark unstable + backoff.
-                self.oar.cancel(oar_job);
+                self.fed.cancel(&oar_job);
                 self.ci.finish(
                     &item.build,
                     BuildResult::Unstable,
@@ -585,11 +619,11 @@ impl Campaign {
         let mut still = Vec::new();
         let blocked = std::mem::take(&mut self.blocked);
         for work in blocked {
-            match self.oar.job(work.oar_job).map(|j| j.state) {
-                Some(JobState::Running) => {
+            match self.fed.job_state(&work.oar_job) {
+                FedJobState::Running => {
                     self.execute_test(work.build, work.suite_idx, work.oar_job, t);
                 }
-                Some(JobState::Error) | Some(JobState::Canceled) | None => {
+                FedJobState::Failed => {
                     self.ci.finish(
                         &work.build,
                         BuildResult::Failure,
@@ -597,7 +631,7 @@ impl Campaign {
                     );
                     self.record_result(work.suite_idx, false, t);
                 }
-                _ => still.push(work),
+                FedJobState::Pending | FedJobState::Done => still.push(work),
             }
         }
         self.blocked = still;
@@ -605,18 +639,16 @@ impl Campaign {
 
     /// Run the test script now; bookkeeping happens when its virtual
     /// duration elapses.
-    fn execute_test(&mut self, build: BuildRef, idx: usize, oar_job: OarJobId, t: SimTime) {
-        let assigned = self
-            .oar
-            .job(oar_job)
-            .map(|j| j.assigned.clone())
-            .unwrap_or_default();
+    fn execute_test(&mut self, build: BuildRef, idx: usize, oar_job: FedJob, t: SimTime) {
+        let assigned = self.fed.assigned_nodes(&oar_job);
         let report = {
             let cfg = &self.suite[idx];
+            // Scripts see the OAR server of the site they run on (the
+            // primary part for cross-site co-allocations).
             let mut ctx = TestCtx {
                 tb: &mut self.tb,
                 refapi: &self.refapi,
-                oar: &self.oar,
+                oar: &self.fed.domain(oar_job.primary_domain()).oar,
                 kavlan: &mut self.kavlan,
                 kwapi: &mut self.kwapi,
                 deployer: &self.deployer,
@@ -644,7 +676,7 @@ impl Campaign {
     /// among ties) — popped straight off the completion queue.
     fn complete_due(&mut self, t: SimTime) {
         while let Some((_, r)) = self.running.pop_due(t) {
-            self.oar.complete_early(r.oar_job);
+            self.fed.complete_early(&r.oar_job);
             let result = if r.report.passed() {
                 BuildResult::Success
             } else {
@@ -682,7 +714,7 @@ impl Campaign {
 
     /// Final pass: derive latency statistics from OAR and CI histories.
     fn finalize(&mut self) {
-        for job in self.oar.jobs().values() {
+        for (_, job) in self.fed.all_jobs() {
             if job.kind == OarJobKind::User {
                 if let Some(w) = job.waiting_time() {
                     self.metrics

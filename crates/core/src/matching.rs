@@ -37,6 +37,10 @@ fn candidate_kinds(prefix: &str) -> &'static [FaultKind] {
         // so an unlucky sample still repairs the right fault.
         "service-flaky" => &[FaultKind::ServiceFlaky, FaultKind::ServiceDown],
         "service-down" => &[FaultKind::ServiceDown, FaultKind::ServiceFlaky],
+        // Site-scoped faults (multi-site federation).
+        "site-power-outage" => &[FaultKind::SitePowerOutage],
+        "site-link-partition" => &[FaultKind::SiteLinkPartition],
+        "clock-skew" => &[FaultKind::ClockSkew],
         _ => &[],
     }
 }
@@ -71,7 +75,16 @@ pub fn find_fault(tb: &Testbed, bug_signature: &str) -> Option<Fault> {
                 && match (f.target, node) {
                     (FaultTarget::Node(n), Some(id)) => n == id,
                     (FaultTarget::NodePair(a, b), Some(id)) => a == id || b == id,
-                    (FaultTarget::Service(..), _) => f.signature().ends_with(&suffix),
+                    (FaultTarget::Service(..), _) | (FaultTarget::Site(..), _) => {
+                        f.signature().ends_with(&suffix)
+                    }
+                    // A partition diagnostic may name the pair or a single
+                    // endpoint.
+                    (FaultTarget::SiteLink(a, b), _) => {
+                        f.signature().ends_with(&suffix)
+                            || a.to_string() == target
+                            || b.to_string() == target
+                    }
                     _ => false,
                 }
         })

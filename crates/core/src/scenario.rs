@@ -67,6 +67,21 @@ pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
     }
 }
 
+/// The multi-site federation scenario: the paper-scale 8-site testbed
+/// under heavy load with the site-scoped fault classes (power outages,
+/// inter-site partitions, clock skew) arriving aggressively, so the
+/// federated scheduling paths — per-site queues, outage failover,
+/// saturation spillover — dominate the run.
+pub fn multi_site_scenario(seed: u64) -> CampaignConfig {
+    let mut cfg = scheduling_scenario(seed, SchedulingMode::External);
+    for (kind, rate) in &mut cfg.injector.rates_per_day {
+        if kind.is_site_fault() {
+            *rate = 0.5;
+        }
+    }
+    cfg
+}
+
 /// The no-testing baseline: same world as [`paper_scenario`] but no test
 /// family ever activates, so faults accumulate silently — the situation
 /// slides 10–13 motivate the framework with.

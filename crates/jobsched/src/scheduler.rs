@@ -5,7 +5,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use ttt_ci::{Cause, CiServer};
-use ttt_oar::OarServer;
+use ttt_oar::AvailabilityProbe;
 use ttt_sim::{Calendar, EventQueue, ExponentialBackoff, HourRange, SimDuration, SimTime};
 
 /// Scheduling policies (slide 17).
@@ -224,7 +224,7 @@ impl ExternalScheduler {
         &mut self,
         now: SimTime,
         ci: &mut CiServer,
-        oar: &OarServer,
+        oar: &impl AvailabilityProbe,
         rng: &mut R,
     ) -> Vec<(String, Decision)> {
         let mut out = Vec::new();
@@ -239,7 +239,7 @@ impl ExternalScheduler {
         &mut self,
         now: SimTime,
         ci: &mut CiServer,
-        oar: &OarServer,
+        oar: &impl AvailabilityProbe,
         rng: &mut R,
     ) {
         self.pass(now, ci, oar, rng, &mut |_, _| {});
@@ -249,7 +249,7 @@ impl ExternalScheduler {
         &mut self,
         now: SimTime,
         ci: &mut CiServer,
-        oar: &OarServer,
+        oar: &impl AvailabilityProbe,
         rng: &mut R,
         record: &mut dyn FnMut(&str, Decision),
     ) {
@@ -276,7 +276,7 @@ impl ExternalScheduler {
         i: usize,
         now: SimTime,
         ci: &mut CiServer,
-        oar: &OarServer,
+        oar: &impl AvailabilityProbe,
         rng: &mut R,
     ) -> Decision {
         let entry = &self.entries[i];
@@ -300,8 +300,10 @@ impl ExternalScheduler {
             return Decision::DeferredSite;
         }
 
-        // Policy 3: resource availability on the testbed, queried from OAR.
-        if oar.immediate_assignment(&entry.request).is_none() {
+        // Policy 3: resource availability on the testbed, queried from OAR
+        // (a federation answers for the entry's home site, spillover
+        // included; a single server ignores the site).
+        if !oar.can_start_now(&entry.site, &entry.request) {
             let delay = self
                 .policy
                 .backoff
@@ -382,7 +384,7 @@ impl ExternalScheduler {
 mod tests {
     use super::*;
     use ttt_ci::{Axis, JobKind, JobSpec};
-    use ttt_oar::{Expr, JobKind as OarJobKind, Queue, ResourceRequest};
+    use ttt_oar::{Expr, JobKind as OarJobKind, OarServer, Queue, ResourceRequest};
     use ttt_refapi::describe;
     use ttt_sim::rng::stream_rng;
     use ttt_testbed::TestbedBuilder;

@@ -83,9 +83,17 @@ impl Expr {
     /// fall back to considering every cluster. Used by the scheduler to
     /// narrow candidate-instant collection to the relevant timelines.
     pub fn implied_cluster(&self) -> Option<&str> {
+        self.implied_eq("cluster")
+    }
+
+    /// The single value `key` must equal for this filter to match, if one
+    /// is statically implied (an equality on `key`, possibly nested in
+    /// conjunctions). The federation uses `implied_eq("site")` to derive a
+    /// request's home scheduling domain.
+    pub fn implied_eq(&self, wanted: &str) -> Option<&str> {
         match self {
-            Expr::Cmp { key, op: CmpOp::Eq, value } if key == "cluster" => Some(value),
-            Expr::And(a, b) => a.implied_cluster().or_else(|| b.implied_cluster()),
+            Expr::Cmp { key, op: CmpOp::Eq, value } if key == wanted => Some(value),
+            Expr::And(a, b) => a.implied_eq(wanted).or_else(|| b.implied_eq(wanted)),
             _ => None,
         }
     }

@@ -14,11 +14,15 @@
 //!   backfilling, immediate-start queries (what the external test scheduler
 //!   polls), node-state integration with the testbed;
 //! * [`userload`] — diurnal synthetic user jobs providing the contention
-//!   the paper's scheduling policies exist to navigate.
+//!   the paper's scheduling policies exist to navigate;
+//! * [`federation`] — one OAR server per site, with site-affine placement,
+//!   saturation spillover and cross-site co-allocation (the multi-site
+//!   structure of the real testbed, first-class).
 
 pub mod ast;
 pub mod cli;
 pub mod eval;
+pub mod federation;
 pub mod gantt;
 pub mod job;
 pub mod lexer;
@@ -27,6 +31,7 @@ pub mod server;
 pub mod userload;
 
 pub use ast::{CmpOp, Count, Expr, Level, RequestGroup, ResourceRequest};
+pub use federation::{AvailabilityProbe, FedJob, FedJobState, Federation, Placement, SiteDomain};
 pub use job::{Job, JobId, JobKind, JobState, Queue};
 pub use cli::{oarnodes, oarstat, oarsub, CliError};
 pub use parser::{parse_request, ParseError};

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use ttt_refapi::{all_properties, PropertyMap, TestbedDescription};
 use ttt_sim::{EventQueue, SimDuration, SimTime};
-use ttt_testbed::{NodeId, Testbed};
+use ttt_testbed::{ClusterId, NodeId, Testbed};
 
 /// OAR node states (slide 21's `oarstate` family checks these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,28 +60,106 @@ enum OarEvent {
     JobShouldEnd(JobId),
 }
 
-/// The OAR server.
-pub struct OarServer {
+/// The immutable resource database a server (or a whole federation of
+/// per-site servers) plans against: node properties from the Reference
+/// API, the `ClusterId` index space, and the per-filter match-set cache.
+///
+/// The database is loaded once and never mutated afterwards (the
+/// *description* drifts, the DB does not — that inconsistency is the
+/// paper's subject), so a federation shares one `Rc<ResourceDb>` across
+/// every site's server instead of cloning 894 property maps per domain.
+/// Liveness and reservations are per-server state, filtered per query.
+pub struct ResourceDb {
     /// Host-name-keyed properties from the Reference API.
     props: Vec<PropertyMap>,
-    /// Cluster name per node (cached from props for hierarchy grouping).
-    cluster_of: Vec<String>,
-    /// Dense cluster index per node (same order as `cluster_names`).
-    cluster_idx_of: Vec<usize>,
-    /// Cluster names in first-appearance order (index space of the caches).
+    /// Owning cluster per node. The per-cluster caches are indexed by
+    /// `ClusterId` directly (dense copy type), so the per-node hot paths
+    /// never hash a cluster-name string.
+    cluster_of_node: Vec<ClusterId>,
+    /// Cluster names in `ClusterId` order (index space of the caches).
     cluster_names: Vec<String>,
-    /// Cluster name → dense index.
-    cluster_index: HashMap<String, usize>,
-    /// Node ids per cluster, in node order (narrowed eligibility scans).
+    /// Cluster name → id, used once when resolving a filter's string
+    /// cluster reference; everything downstream carries the `ClusterId`.
+    cluster_ids: HashMap<String, ClusterId>,
+    /// Node ids per cluster (`ClusterId`-indexed), in node order.
     nodes_of_cluster: Vec<Vec<NodeId>>,
     /// All node ids (scan fallback for cluster-agnostic filters).
     all_nodes: Vec<NodeId>,
-    /// Cached match-sets: filter → nodes whose properties satisfy it. The
-    /// resource database is loaded once and never mutated afterwards (the
-    /// *description* drifts, the DB does not — that inconsistency is the
-    /// paper's subject), so entries stay valid for the server's lifetime.
-    /// Liveness and reservations are filtered per query, not cached.
+    /// Cached match-sets: filter → nodes whose properties satisfy it.
+    /// Property-only (state filtered per query), hence valid across every
+    /// domain sharing the database.
     match_cache: RefCell<HashMap<Expr, Rc<Vec<NodeId>>>>,
+}
+
+impl ResourceDb {
+    /// Load the database from a testbed and its published description.
+    pub fn load(tb: &Testbed, desc: &TestbedDescription) -> Self {
+        let by_name = all_properties(desc);
+        let mut props = Vec::with_capacity(tb.nodes().len());
+        let mut cluster_of_node = Vec::with_capacity(tb.nodes().len());
+        for node in tb.nodes() {
+            props.push(by_name.get(&node.name).cloned().unwrap_or_default());
+            cluster_of_node.push(node.cluster);
+        }
+        // The testbed's ClusterIds are dense, so they ARE the cache index
+        // space — no separate interning pass.
+        ResourceDb {
+            props,
+            cluster_of_node,
+            cluster_names: tb.clusters().iter().map(|c| c.name.clone()).collect(),
+            cluster_ids: tb
+                .clusters()
+                .iter()
+                .map(|c| (c.name.clone(), c.id))
+                .collect(),
+            nodes_of_cluster: tb.clusters().iter().map(|c| c.nodes.clone()).collect(),
+            all_nodes: (0..tb.nodes().len()).map(NodeId::from).collect(),
+            match_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of nodes in the database.
+    pub fn node_count(&self) -> usize {
+        self.all_nodes.len()
+    }
+
+    /// The nodes whose (immutable) properties satisfy `filter`, cached
+    /// per distinct filter: the first query pays one scan + eval pass,
+    /// every later query is a hash lookup. Node order is preserved.
+    fn matching_nodes(&self, filter: &Expr) -> Rc<Vec<NodeId>> {
+        if let Some(hit) = self.match_cache.borrow().get(filter) {
+            return Rc::clone(hit);
+        }
+        let set: Rc<Vec<NodeId>> = Rc::new(
+            self.scan_range(filter)
+                .iter()
+                .copied()
+                .filter(|n| eval(filter, &self.props[n.index()]))
+                .collect(),
+        );
+        self.match_cache
+            .borrow_mut()
+            .insert(filter.clone(), Rc::clone(&set));
+        set
+    }
+
+    /// The node ids a filter can possibly match: its implied cluster's
+    /// nodes, or every node when the filter may span clusters.
+    fn scan_range(&self, filter: &Expr) -> &[NodeId] {
+        match filter
+            .implied_cluster()
+            .and_then(|name| self.cluster_ids.get(name))
+        {
+            Some(&c) => &self.nodes_of_cluster[c.index()],
+            None => &self.all_nodes,
+        }
+    }
+}
+
+/// The OAR server.
+pub struct OarServer {
+    /// The shared immutable resource database.
+    db: Rc<ResourceDb>,
     node_states: Vec<NodeState>,
     timelines: Vec<NodeTimeline>,
     /// Per-cluster cache of upcoming reservation ends — the planner's
@@ -110,43 +188,16 @@ impl OarServer {
     /// Build a server for a testbed, loading properties from the Reference
     /// API description (slide 7: "OAR database filled from Reference API").
     pub fn new(tb: &Testbed, desc: &TestbedDescription) -> Self {
-        let by_name = all_properties(desc);
-        let mut props = Vec::with_capacity(tb.nodes().len());
-        let mut cluster_of = Vec::with_capacity(tb.nodes().len());
-        let mut cluster_idx_of = Vec::with_capacity(tb.nodes().len());
-        let mut cluster_names: Vec<String> = Vec::new();
-        let mut cluster_index: HashMap<String, usize> = HashMap::new();
-        let mut nodes_of_cluster: Vec<Vec<NodeId>> = Vec::new();
-        for (i, node) in tb.nodes().iter().enumerate() {
-            let p = by_name
-                .get(&node.name)
-                .cloned()
-                .unwrap_or_default();
-            let cluster = p
-                .get("cluster")
-                .map(|v| v.render())
-                .unwrap_or_default();
-            let idx = *cluster_index.entry(cluster.clone()).or_insert_with(|| {
-                cluster_names.push(cluster.clone());
-                nodes_of_cluster.push(Vec::new());
-                cluster_names.len() - 1
-            });
-            nodes_of_cluster[idx].push(NodeId::from(i));
-            cluster_idx_of.push(idx);
-            cluster_of.push(cluster);
-            props.push(p);
-        }
-        let n = tb.nodes().len();
+        Self::with_db(Rc::new(ResourceDb::load(tb, desc)))
+    }
+
+    /// Build a server over an already-loaded (possibly shared) resource
+    /// database — what a federation does once per site.
+    pub fn with_db(db: Rc<ResourceDb>) -> Self {
+        let n = db.node_count();
         OarServer {
-            props,
-            cluster_of,
-            cluster_idx_of,
-            ends: EndIndex::new(cluster_names.len()),
-            cluster_names,
-            cluster_index,
-            nodes_of_cluster,
-            all_nodes: (0..n).map(NodeId::from).collect(),
-            match_cache: RefCell::new(HashMap::new()),
+            ends: EndIndex::new(db.cluster_names.len()),
+            db,
             node_states: vec![NodeState::Alive; n],
             timelines: (0..n).map(|_| NodeTimeline::new()).collect(),
             jobs: BTreeMap::new(),
@@ -180,12 +231,12 @@ impl OarServer {
     /// The resource-database properties of one node (as loaded from the
     /// Reference API). The `oarproperties` test family audits these.
     pub fn properties(&self, node: NodeId) -> &PropertyMap {
-        &self.props[node.index()]
+        &self.db.props[node.index()]
     }
 
     /// Cluster names in the dense index order used by the planner caches.
     pub fn cluster_names(&self) -> &[String] {
-        &self.cluster_names
+        &self.db.cluster_names
     }
 
     /// Per-node state.
@@ -226,7 +277,9 @@ impl OarServer {
         let mut to_fail = Vec::new();
         for &id in nodes {
             let idx = id.index();
-            let alive = tb.node(id).condition.alive;
+            // Effective reachability: hardware death and site power
+            // outages are indistinguishable from the server's viewpoint.
+            let alive = tb.node_alive(id);
             match (alive, self.node_states[idx]) {
                 (false, NodeState::Dead) => {}
                 (false, _) => {
@@ -252,13 +305,17 @@ impl OarServer {
             .count()
     }
 
-    /// Fraction of alive nodes currently busy.
-    pub fn utilization(&self) -> f64 {
-        let alive = self
-            .node_states
+    /// Number of nodes currently in the `Alive` state.
+    pub fn alive_nodes(&self) -> usize {
+        self.node_states
             .iter()
             .filter(|s| matches!(s, NodeState::Alive))
-            .count();
+            .count()
+    }
+
+    /// Fraction of alive nodes currently busy.
+    pub fn utilization(&self) -> f64 {
+        let alive = self.alive_nodes();
         if alive == 0 {
             0.0
         } else {
@@ -345,6 +402,13 @@ impl OarServer {
         self.find_assignment(request, self.now)
     }
 
+    /// Whether this server's resources can *ever* satisfy `request`
+    /// (ignoring current reservations). A federation uses this to decide
+    /// which scheduling domain a request may queue on.
+    pub fn can_satisfy(&self, request: &ResourceRequest) -> bool {
+        self.validate(request).is_ok()
+    }
+
     /// Cancel a job (waiting, scheduled or running).
     pub fn cancel(&mut self, id: JobId) -> bool {
         let Some(job) = self.jobs.get_mut(&id) else {
@@ -364,7 +428,7 @@ impl OarServer {
         if was_active {
             for n in assigned {
                 if let Some(end) = self.timelines[n.index()].end_of(id) {
-                    self.ends.remove(self.cluster_idx_of[n.index()], end);
+                    self.ends.remove(self.db.cluster_of_node[n.index()].index(), end);
                 }
                 self.timelines[n.index()].release(id);
             }
@@ -386,7 +450,7 @@ impl OarServer {
         job.ended_at = Some(now);
         let assigned = job.assigned.clone();
         for n in assigned {
-            let cluster = self.cluster_idx_of[n.index()];
+            let cluster = self.db.cluster_of_node[n.index()].index();
             let old = self.timelines[n.index()].end_of(id);
             self.timelines[n.index()].truncate(id, now);
             match (old, self.timelines[n.index()].end_of(id)) {
@@ -413,7 +477,7 @@ impl OarServer {
             let assigned = job.assigned.clone();
             for n in assigned {
                 if let Some(end) = self.timelines[n.index()].end_of(id) {
-                    self.ends.remove(self.cluster_idx_of[n.index()], end);
+                    self.ends.remove(self.db.cluster_of_node[n.index()].index(), end);
                 }
                 self.timelines[n.index()].release(id);
                 self.timelines[n.index()].truncate(id, now);
@@ -523,7 +587,8 @@ impl OarServer {
                 let walltime = request.walltime;
                 for &n in &assignment {
                     self.timelines[n.index()].reserve(start, walltime, id);
-                    self.ends.add(self.cluster_idx_of[n.index()], start + walltime);
+                    self.ends
+                        .add(self.db.cluster_of_node[n.index()].index(), start + walltime);
                 }
                 let job = self.jobs.get_mut(&id).unwrap();
                 job.assigned = assignment;
@@ -567,8 +632,9 @@ impl OarServer {
                 for name in names {
                     // Unknown cluster names contribute no nodes, hence no
                     // candidate instants either.
-                    if let Some(&c) = self.cluster_index.get(name) {
-                        self.ends.candidates_into(c, self.now, limit, &mut candidates);
+                    if let Some(&c) = self.db.cluster_ids.get(name) {
+                        self.ends
+                            .candidates_into(c.index(), self.now, limit, &mut candidates);
                     }
                 }
                 candidates.sort_unstable();
@@ -595,38 +661,6 @@ impl OarServer {
         Some(taken)
     }
 
-    /// The node ids a filter can possibly match: its implied cluster's
-    /// nodes, or every node when the filter may span clusters.
-    fn scan_range(&self, filter: &Expr) -> &[NodeId] {
-        match filter
-            .implied_cluster()
-            .and_then(|name| self.cluster_index.get(name))
-        {
-            Some(&c) => &self.nodes_of_cluster[c],
-            None => &self.all_nodes,
-        }
-    }
-
-    /// The nodes whose (immutable) properties satisfy `filter`, cached per
-    /// distinct filter: the first query pays one scan + eval pass, every
-    /// later query is a hash lookup. Node order is preserved.
-    fn matching_nodes(&self, filter: &Expr) -> Rc<Vec<NodeId>> {
-        if let Some(hit) = self.match_cache.borrow().get(filter) {
-            return Rc::clone(hit);
-        }
-        let set: Rc<Vec<NodeId>> = Rc::new(
-            self.scan_range(filter)
-                .iter()
-                .copied()
-                .filter(|n| eval(filter, &self.props[n.index()]))
-                .collect(),
-        );
-        self.match_cache
-            .borrow_mut()
-            .insert(filter.clone(), Rc::clone(&set));
-        set
-    }
-
     /// Nodes eligible for a group at `start` for `duration`: alive, match
     /// the filter, free on their timeline, not already taken.
     fn eligible(
@@ -636,7 +670,7 @@ impl OarServer {
         duration: SimDuration,
         taken: &[NodeId],
     ) -> Vec<NodeId> {
-        self.matching_nodes(filter)
+        self.db.matching_nodes(filter)
             .iter()
             .copied()
             .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
@@ -648,7 +682,7 @@ impl OarServer {
     /// All alive nodes matching the filter, regardless of reservations
     /// (used for `ALL` semantics and satisfiability checks).
     fn matching_alive(&self, filter: &Expr, taken: &[NodeId]) -> Vec<NodeId> {
-        self.matching_nodes(filter)
+        self.db.matching_nodes(filter)
             .iter()
             .copied()
             .filter(|n| matches!(self.node_states[n.index()], NodeState::Alive))
@@ -684,7 +718,7 @@ impl OarServer {
                 let mut by_cluster: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
                 for n in &eligible {
                     by_cluster
-                        .entry(self.cluster_of[n.index()].as_str())
+                        .entry(self.db.cluster_names[self.db.cluster_of_node[n.index()].index()].as_str())
                         .or_default()
                         .push(*n);
                 }
@@ -706,10 +740,14 @@ impl OarServer {
                             // free (intersection computed on the cached
                             // match-set — no ad-hoc filter expression).
                             let members: Vec<NodeId> = self
+                                .db
                                 .matching_nodes(&group.filter)
                                 .iter()
                                 .copied()
-                                .filter(|n| self.cluster_of[n.index()] == *cluster)
+                                .filter(|n| {
+                                    self.db.cluster_names[self.db.cluster_of_node[n.index()].index()]
+                                        == *cluster
+                                })
                                 .filter(|n| {
                                     matches!(self.node_states[n.index()], NodeState::Alive)
                                 })
@@ -744,11 +782,13 @@ impl OarServer {
     pub fn check_end_index_consistency(&self) -> Result<(), String> {
         let mut want_global: BTreeMap<SimTime, u32> = BTreeMap::new();
         let mut want_cluster: Vec<BTreeMap<SimTime, u32>> =
-            vec![BTreeMap::new(); self.cluster_names.len()];
+            vec![BTreeMap::new(); self.db.cluster_names.len()];
         for (i, tl) in self.timelines.iter().enumerate() {
             for r in tl.reservations() {
                 *want_global.entry(r.end).or_insert(0) += 1;
-                *want_cluster[self.cluster_idx_of[i]].entry(r.end).or_insert(0) += 1;
+                *want_cluster[self.db.cluster_of_node[i].index()]
+                    .entry(r.end)
+                    .or_insert(0) += 1;
             }
         }
         if self.ends.global_counts() != &want_global {
@@ -763,7 +803,7 @@ impl OarServer {
                 return Err(format!(
                     "cluster {} ({}) end-index diverged: cached {:?}, scanned {:?}",
                     c,
-                    self.cluster_names[c],
+                    self.db.cluster_names[c],
                     self.ends.cluster_counts(c),
                     want
                 ));

@@ -9,6 +9,7 @@
 //! hardware-centric tests for weeks).
 
 use crate::ast::{Expr, ResourceRequest};
+use crate::federation::Federation;
 use crate::job::{JobKind, Queue};
 use crate::server::OarServer;
 use rand::seq::SliceRandom;
@@ -34,6 +35,43 @@ impl Default for UserLoadConfig {
             cluster_affinity: 0.6,
             whole_cluster_prob: 0.08,
         }
+    }
+}
+
+/// Where user jobs land: a single OAR server or a whole federation.
+trait SubmitTarget {
+    fn now(&self) -> SimTime;
+    fn advance(&mut self, t: SimTime);
+    /// Submit one user job; false when the draw was unsatisfiable.
+    fn submit_user(&mut self, user: &str, request: ResourceRequest) -> bool;
+}
+
+impl SubmitTarget for OarServer {
+    fn now(&self) -> SimTime {
+        OarServer::now(self)
+    }
+
+    fn advance(&mut self, t: SimTime) {
+        OarServer::advance(self, t);
+    }
+
+    fn submit_user(&mut self, user: &str, request: ResourceRequest) -> bool {
+        self.submit(user, Queue::Default, JobKind::User, request).is_ok()
+    }
+}
+
+impl SubmitTarget for Federation {
+    fn now(&self) -> SimTime {
+        Federation::now(self)
+    }
+
+    fn advance(&mut self, t: SimTime) {
+        Federation::advance(self, t);
+    }
+
+    fn submit_user(&mut self, user: &str, request: ResourceRequest) -> bool {
+        self.submit(user, Queue::Default, JobKind::User, request, None)
+            .is_ok()
     }
 }
 
@@ -82,25 +120,42 @@ impl UserLoadGenerator {
     /// Uses Poisson thinning: candidates arrive at the peak rate and are
     /// kept with probability equal to the diurnal intensity.
     pub fn advance<R: Rng>(&mut self, until: SimTime, server: &mut OarServer, rng: &mut R) {
+        self.advance_into(until, server, rng);
+    }
+
+    /// Advance to `until`, submitting user jobs across the federation.
+    ///
+    /// Cluster-affine jobs land on their cluster's site (the federation
+    /// derives the home domain from the request); site-agnostic jobs take
+    /// the first domain with room, spilling over when the front of the
+    /// federation is saturated. Same thinned-Poisson stream as
+    /// [`UserLoadGenerator::advance`].
+    pub fn advance_fed<R: Rng>(&mut self, until: SimTime, fed: &mut Federation, rng: &mut R) {
+        self.advance_into(until, fed, rng);
+    }
+
+    /// The shared thinned-Poisson loop. The draw order here is
+    /// determinism-load-bearing (the engine-equivalence oracle compares
+    /// campaigns bitwise), which is exactly why the single-server and
+    /// federated paths must run one copy of it.
+    fn advance_into<R: Rng>(&mut self, until: SimTime, target: &mut impl SubmitTarget, rng: &mut R) {
         let process = PoissonProcess::per_day(self.config.peak_jobs_per_day);
         let mut t = match self.next_candidate {
             Some(t) => t,
-            None => match process.next_after(server.now(), rng) {
+            None => match process.next_after(target.now(), rng) {
                 Some(t) => t,
                 None => return,
             },
         };
         while t < until {
             if rng.gen_bool(Calendar::diurnal_intensity(t).clamp(0.0, 1.0)) {
-                server.advance(t);
+                target.advance(t);
                 let request = self.draw_request(rng);
                 let user = format!("user{}", rng.gen_range(0..50));
-                // Unsatisfiable draws (e.g. whole dead cluster) are simply
-                // dropped — real users would see the error and move on.
-                if server
-                    .submit(&user, Queue::Default, JobKind::User, request)
-                    .is_ok()
-                {
+                // Unsatisfiable draws (e.g. a whole dead cluster or site)
+                // are simply dropped — real users would see the error and
+                // move on.
+                if target.submit_user(&user, request) {
                     self.submitted += 1;
                 }
             }

@@ -4,11 +4,14 @@
 //! ```text
 //! cargo run --release -p ttt_scengen --example swarm -- \
 //!     [--seeds N] [--base B] [--no-equivalence] [--no-detection] \
-//!     [--no-conservation] [--max-tests LIMIT] [--no-shrink]
+//!     [--no-conservation] [--max-tests LIMIT] [--no-shrink] \
+//!     [--dump-dir DIR]
 //! ```
 //!
 //! Prints one line per scenario, a throughput summary, and — for every
-//! failure — the minimal reproducer seed and JSON dump. Exits non-zero if
+//! failure — the minimal reproducer seed and JSON dump. With `--dump-dir`
+//! each reproducer is also written to `DIR/repro-seed-<N>.json` so CI can
+//! upload the shrunken scenarios as workflow artifacts. Exits non-zero if
 //! any scenario violated an oracle, so CI can gate on it.
 
 use std::time::Instant;
@@ -19,14 +22,15 @@ fn main() {
     let mut base: u64 = 1;
     let mut oracles = Oracles::default();
     let mut shrink = true;
+    let mut dump_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
+        let mut raw = |name: &str| {
             args.next()
                 .unwrap_or_else(|| panic!("{name} needs a value"))
-                .parse::<u64>()
-                .unwrap_or_else(|e| panic!("{name}: {e}"))
         };
+        let mut value =
+            |name: &str| raw(name).parse::<u64>().unwrap_or_else(|e| panic!("{name}: {e}"));
         match arg.as_str() {
             "--seeds" => n = value("--seeds") as usize,
             "--base" => base = value("--base"),
@@ -35,6 +39,7 @@ fn main() {
             "--no-detection" => oracles.detection = false,
             "--no-conservation" => oracles.conservation = false,
             "--no-shrink" => shrink = false,
+            "--dump-dir" => dump_dir = Some(raw("--dump-dir")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -85,6 +90,17 @@ fn main() {
                 r.spec.fault_mix.len(),
                 r.dump
             );
+            if let Some(dir) = &dump_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                } else {
+                    let path = format!("{dir}/repro-seed-{}.json", o.seed);
+                    match std::fs::write(&path, &r.dump) {
+                        Ok(()) => println!("seed {}: reproducer written to {path}", o.seed),
+                        Err(e) => eprintln!("cannot write {path}: {e}"),
+                    }
+                }
+            }
         }
     }
 

@@ -106,10 +106,12 @@ impl ScenarioSpec {
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = stream_rng(seed, "scengen");
 
-        // Topology: 1–3 sites, 2–6 clusters, 2–8 nodes each, mixed
+        // Topology: 1–4 sites, 2–6 clusters, 2–8 nodes each, mixed
         // vendors/interconnects — the heterogeneity the paper blames for
-        // many of its bugs, in miniature.
-        let n_sites = rng.gen_range(1..=3usize);
+        // many of its bugs, in miniature. The multi-site dimension is what
+        // exposes the federated scheduler (per-site OAR domains, spillover,
+        // site outages/partitions/skew from the fault mix) to the swarm.
+        let n_sites = rng.gen_range(1..=4usize);
         let n_clusters = rng.gen_range(2..=6usize);
         const CORES: [u32; 6] = [4, 8, 12, 16, 20, 24];
         const VENDORS: [Vendor; 4] = [Vendor::Dell, Vendor::Hp, Vendor::Bull, Vendor::Ibm];
@@ -196,6 +198,20 @@ impl ScenarioSpec {
     /// Total node count of the generated topology.
     pub fn node_count(&self) -> u32 {
         self.clusters.iter().map(|c| c.nodes).sum()
+    }
+
+    /// Number of distinct sites the generated topology spans.
+    pub fn site_count(&self) -> usize {
+        let mut sites: Vec<&str> = self.clusters.iter().map(|c| c.site.as_str()).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
+    }
+
+    /// Whether the fault mix contains any site-scoped kind (outage,
+    /// partition, skew) — the inter-site dimension of the scenario.
+    pub fn has_site_faults(&self) -> bool {
+        self.fault_mix.iter().any(|&(k, _)| k.is_site_fault())
     }
 
     /// The campaign horizon as a duration.

@@ -111,6 +111,12 @@ pub struct CampaignDigest {
     pub active_faults: usize,
     /// Status-grid rows.
     pub grid_rows: Vec<String>,
+    /// Jobs submitted per site domain — the federation's sharding is an
+    /// observable, so a placement divergence between engines is caught
+    /// even when the totals happen to agree.
+    pub per_site_jobs: Vec<u64>,
+    /// Jobs placed off their home domain (saturation spillover).
+    pub spillovers: u64,
 }
 
 impl CampaignDigest {
@@ -158,6 +164,13 @@ impl CampaignDigest {
             ),
             active_faults: c.testbed().active_faults().len(),
             grid_rows: c.status_grid().jobs.clone(),
+            per_site_jobs: c
+                .federation()
+                .domains()
+                .iter()
+                .map(|d| d.oar.jobs().len() as u64)
+                .collect(),
+            spillovers: c.federation().spillovers(),
         }
     }
 
@@ -189,6 +202,8 @@ impl CampaignDigest {
             oar_utilization,
             active_faults,
             grid_rows,
+            per_site_jobs,
+            spillovers,
         )
     }
 }
@@ -232,7 +247,11 @@ fn canonical_prefix(kind: FaultKind) -> &'static str {
 /// `Fault::signature` for node faults.
 fn canonical_signature(fault: &Fault, tb: &Testbed) -> String {
     match fault.target {
-        FaultTarget::Service(..) => fault.signature(),
+        // Service and site-scoped diagnostics carry the fault signature
+        // verbatim (site ids, not node names).
+        FaultTarget::Service(..) | FaultTarget::Site(..) | FaultTarget::SiteLink(..) => {
+            fault.signature()
+        }
         FaultTarget::Node(n) | FaultTarget::NodePair(n, _) => {
             format!("{}@{}", canonical_prefix(fault.kind), tb.node(n).name)
         }
@@ -246,11 +265,16 @@ fn targets_overlap(a: FaultTarget, b: FaultTarget) -> bool {
         match t {
             FaultTarget::Node(n) => vec![n],
             FaultTarget::NodePair(x, y) => vec![x, y],
-            FaultTarget::Service(..) => vec![],
+            FaultTarget::Service(..) | FaultTarget::Site(..) | FaultTarget::SiteLink(..) => vec![],
         }
     };
+    let link = |x: ttt_testbed::SiteId, y: ttt_testbed::SiteId| if x <= y { (x, y) } else { (y, x) };
     match (a, b) {
         (FaultTarget::Service(s1, k1), FaultTarget::Service(s2, k2)) => s1 == s2 && k1 == k2,
+        (FaultTarget::Site(s1), FaultTarget::Site(s2)) => s1 == s2,
+        (FaultTarget::SiteLink(a1, b1), FaultTarget::SiteLink(a2, b2)) => {
+            link(a1, b1) == link(a2, b2)
+        }
         (a, b) => nodes(a).iter().any(|n| nodes(b).contains(n)),
     }
 }
@@ -315,6 +339,9 @@ pub fn coverage_for(kind: FaultKind) -> (Family, Target, usize, &'static str) {
         FaultKind::ServiceFlaky => (Family::Cmdline, site(), 150, "alpha"),
         FaultKind::ServiceDown => (Family::Cmdline, site(), 1, "alpha"),
         FaultKind::NodeDead => (Family::OarState, site(), 1, "alpha"),
+        FaultKind::SitePowerOutage => (Family::OarState, site(), 1, "alpha"),
+        FaultKind::SiteLinkPartition => (Family::Kavlan, Target::Global, 1, "alpha"),
+        FaultKind::ClockSkew => (Family::Cmdline, site(), 1, "alpha"),
     }
 }
 
@@ -368,6 +395,19 @@ pub fn detection_failure(
         FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
             FaultTarget::Service(h.tb.sites()[0].id, ServiceKind::KadeployServer)
         }
+        FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+            // The site owning the declared cluster.
+            FaultTarget::Site(h.tb.cluster_by_name(cluster_name).unwrap().site)
+        }
+        FaultKind::SiteLinkPartition => {
+            if h.tb.sites().len() < 2 {
+                return Some(format!(
+                    "{kind} needs two sites; the shared harness has {}",
+                    h.tb.sites().len()
+                ));
+            }
+            FaultTarget::SiteLink(h.tb.sites()[0].id, h.tb.sites()[1].id)
+        }
         _ => FaultTarget::Node(nodes[0]),
     };
     // A failed injection is a broken coverage entry (e.g. a drift that
@@ -379,9 +419,13 @@ pub fn detection_failure(
     };
     let cfg = TestConfig { family, target };
     // Assignments: hardware-centric take the cluster; site tests take two
-    // nodes; everything else takes the faulty node.
+    // nodes; the global configuration takes one node on each of two
+    // sites; everything else takes the faulty node.
     h.assigned = if cfg.family.hardware_centric() {
         nodes.clone()
+    } else if matches!(cfg.target, Target::Global) {
+        let remote_cluster = h.tb.sites()[1].clusters[0];
+        vec![nodes[0], h.tb.cluster(remote_cluster).nodes[0]]
     } else if matches!(cfg.target, Target::Site(_)) {
         vec![nodes[0], nodes[2]]
     } else {
@@ -418,20 +462,32 @@ pub fn check_conservation(c: &Campaign) -> Vec<Violation> {
         fail(format!("testbed structure: {e}"));
     }
 
-    // OAR: the planner's end-index caches must agree with the timelines.
-    if let Err(e) = c.oar().check_end_index_consistency() {
-        fail(format!("oar end-index: {e}"));
+    // OAR, per site: every domain's end-index cache must agree with its
+    // timelines, and a domain must only ever book its own site's nodes.
+    let fed = c.federation();
+    for (i, domain) in fed.domains().iter().enumerate() {
+        if let Err(e) = domain.oar.check_end_index_consistency() {
+            fail(format!("oar end-index (site {i}): {e}"));
+        }
     }
 
-    // OAR: running reservations hold disjoint, existing nodes.
+    // OAR, global: running reservations hold disjoint, existing nodes —
+    // across the whole federation, not just within one domain.
     let mut claimed: Vec<NodeId> = Vec::new();
-    for job in c.oar().jobs().values() {
+    for (d, job) in fed.all_jobs() {
         if job.state != ttt_oar::JobState::Running {
             continue;
         }
         for &n in &job.assigned {
             if n.index() >= tb.nodes().len() {
                 fail(format!("job assigned to nonexistent {n}"));
+            } else if tb.node(n).site != fed.domain(d).site {
+                fail(format!(
+                    "{n} (site {}) booked by domain {} ({})",
+                    tb.node(n).site,
+                    d,
+                    fed.domain(d).name
+                ));
             } else if claimed.contains(&n) {
                 fail(format!("{n} reserved by two running jobs"));
             } else {

@@ -78,11 +78,19 @@ pub fn shrink(spec: &ScenarioSpec, oracles: &Oracles) -> Option<Reproducer> {
         }
     }
 
-    // 3. Zero the remaining noise sources where the failure survives.
-    let reductions: [fn(&mut ScenarioSpec); 3] = [
+    // 3. Zero the remaining noise sources where the failure survives —
+    //    including collapsing the topology onto one site, which strips the
+    //    whole multi-site dimension (federated placement, spillover,
+    //    inter-site faults) when it is not what broke.
+    let reductions: [fn(&mut ScenarioSpec); 4] = [
         |s| s.maintenance_per_day = 0.0,
         |s| s.initial_fault_burden = 0,
         |s| s.peak_jobs_per_day = 0.0,
+        |s| {
+            for c in &mut s.clusters {
+                c.site = "swarm-s0".into();
+            }
+        },
     ];
     for reduce in reductions {
         let mut candidate = best.clone();

@@ -41,7 +41,10 @@ impl ExponentialBackoff {
         SimDuration::from_secs_f64(scaled).min(self.max)
     }
 
-    /// Delay with jitter applied, drawing from `rng`.
+    /// Delay with jitter applied, drawing from `rng`. The scale factor is
+    /// drawn from the *closed* interval `[1 - jitter, 1 + jitter]` — the
+    /// documented upper bound is reachable (a half-open draw would quietly
+    /// exclude it).
     pub fn delay_jittered<R: Rng>(&self, attempt: u32, rng: &mut R) -> SimDuration {
         let d = self.delay(attempt);
         if self.jitter <= 0.0 {
@@ -49,7 +52,7 @@ impl ExponentialBackoff {
         }
         let lo = 1.0 - self.jitter;
         let hi = 1.0 + self.jitter;
-        let scale: f64 = rng.gen_range(lo..hi);
+        let scale: f64 = rng.gen_range(lo..=hi);
         (d * scale).min(self.max)
     }
 }
@@ -106,5 +109,68 @@ mod tests {
         let b = policy();
         let mut rng = stream_rng(1, "backoff");
         assert_eq!(b.delay_jittered(3, &mut rng), b.delay(3));
+    }
+
+    /// An RNG pinned to one word, driving `gen_range` to an endpoint.
+    struct ConstRng(u64);
+    impl rand::RngCore for ConstRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn jitter_band_endpoints_are_reachable() {
+        use rand::Rng as _;
+        // The documented contract is a scale in [1 - j, 1 + j] inclusive:
+        // a maximal draw must land exactly on the upper bound, a minimal
+        // draw exactly on the lower one (this pins the closed-interval
+        // draw — the old half-open `lo..hi` could never return `hi`).
+        let b = ExponentialBackoff {
+            jitter: 0.1,
+            ..policy()
+        };
+        let nominal = b.delay(1).as_secs_f64();
+        let top = b.delay_jittered(1, &mut ConstRng(u64::MAX)).as_secs_f64();
+        assert!(
+            (top - nominal * 1.1).abs() < 1e-6,
+            "max draw gives {top}, want {}",
+            nominal * 1.1
+        );
+        let bottom = b.delay_jittered(1, &mut ConstRng(0)).as_secs_f64();
+        assert!(
+            (bottom - nominal * 0.9).abs() < 1e-6,
+            "min draw gives {bottom}, want {}",
+            nominal * 0.9
+        );
+        // Sanity: the raw scale draw itself reaches both closed endpoints.
+        assert_eq!(ConstRng(u64::MAX).gen_range(0.9f64..=1.1), 1.1);
+        assert_eq!(ConstRng(0).gen_range(0.9f64..=1.1), 0.9);
+    }
+
+    #[test]
+    fn jittered_delays_stay_in_the_closed_band() {
+        // Property over the whole policy space: for random policies and
+        // attempts, the jittered delay lies in
+        // [nominal·(1-j), min(nominal·(1+j), max)] — never outside.
+        let mut rng = stream_rng(99, "backoff-prop");
+        use rand::Rng as _;
+        for _ in 0..2000 {
+            let b = ExponentialBackoff {
+                base: SimDuration::from_secs(rng.gen_range(1..3600)),
+                factor: rng.gen_range(1.0..4.0),
+                max: SimDuration::from_secs(rng.gen_range(3600..200_000)),
+                jitter: rng.gen_range(0.0..1.0),
+            };
+            let attempt = rng.gen_range(0..12u32);
+            let nominal = b.delay(attempt).as_secs_f64();
+            let d = b.delay_jittered(attempt, &mut rng).as_secs_f64();
+            let lo = nominal * (1.0 - b.jitter) - 1e-6;
+            let hi = (nominal * (1.0 + b.jitter)).min(b.max.as_secs_f64()) + 1e-6;
+            assert!(
+                (lo..=hi).contains(&d),
+                "delay {d} outside [{lo}, {hi}] for {b:?} attempt {attempt}"
+            );
+        }
     }
 }

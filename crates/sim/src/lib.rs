@@ -30,7 +30,7 @@ pub mod stats;
 pub mod time;
 
 pub use backoff::ExponentialBackoff;
-pub use calendar::{Calendar, HourRange};
+pub use calendar::{Calendar, HourRange, Weekday};
 pub use process::PoissonProcess;
 pub use queue::{DrainDue, EventQueue};
 pub use rng::{stream_rng, RngFactory};

@@ -43,13 +43,30 @@ fn site_id(ctx: &TestCtx, site: &str) -> Option<SiteId> {
 }
 
 /// `oarstate`: report nodes of the site that are dead or excluded — the
-/// "testbed status" check.
+/// "testbed status" check. A whole-site power outage is reported once as
+/// the site-level fault, not as hundreds of per-node deaths.
 pub fn oarstate(site: &str, ctx: &mut TestCtx) -> TestReport {
     let duration = SimDuration::from_mins(2);
     let mut diagnostics = Vec::new();
     let Some(sid) = site_id(ctx, site) else {
         return TestReport::from_diagnostics(vec![], duration);
     };
+    // The status view is federation-wide (the real status page aggregates
+    // every site), so a run hosted on a healthy site still reports a peer
+    // site's blackout — which is the only way it CAN be reported: a dead
+    // site cannot host the test that would diagnose it.
+    for peer in ctx.tb.sites() {
+        if !ctx.tb.site_powered(peer.id) {
+            diagnostics.push(Diagnostic::new(
+                format!("site-power-outage@{}", peer.id),
+                format!("{}: every node unreachable — the site lost power", peer.name),
+            ));
+        }
+    }
+    if !ctx.tb.site_powered(sid) {
+        // Own site dark: the per-node sweep would just repeat the outage.
+        return TestReport::from_diagnostics(diagnostics, duration);
+    }
     for node in ctx.tb.nodes() {
         if node.site != sid {
             continue;
@@ -77,6 +94,17 @@ pub fn cmdline(site: &str, ctx: &mut TestCtx) -> TestReport {
             ServiceKind::ConsoleServer,
         ] {
             probe_service(ctx, sid, kind, 4, &mut diagnostics);
+        }
+    }
+    // The frontend's clock must agree with the federation's NTP reference
+    // (a skewed site corrupts every cross-site timestamp comparison).
+    if let Some(sid) = site_id(ctx, site) {
+        let skew = ctx.tb.clock_skew_of(sid);
+        if skew.abs() > 1.0 {
+            diagnostics.push(Diagnostic::new(
+                format!("clock-skew@{sid}"),
+                format!("{site}: frontend clock is {skew:.0}s off the NTP reference"),
+            ));
         }
     }
     // The CLI tools must produce well-formed output.
@@ -167,6 +195,19 @@ pub fn kavlan(global: bool, ctx: &mut TestCtx) -> TestReport {
     if let Some(&first) = ctx.assigned.first() {
         let sid = ctx.tb.node(first).site;
         probe_service(ctx, sid, ServiceKind::KavlanServer, 4, &mut diagnostics);
+    }
+    // The global configuration spans sites: the backbone link between the
+    // two endpoints must carry traffic before level-2 bridging can work.
+    if global {
+        let (sa, sb) = (ctx.tb.node(a).site, ctx.tb.node(b).site);
+        if sa != sb && !ctx.tb.topology().sites_connected(sa, sb) {
+            let (lo, hi) = if sa <= sb { (sa, sb) } else { (sb, sa) };
+            diagnostics.push(Diagnostic::new(
+                format!("site-link-partition@{lo}~{hi}"),
+                format!("{lo} and {hi} cannot reach each other — backbone link is down"),
+            ));
+            return TestReport::from_diagnostics(diagnostics, duration);
+        }
     }
     let vlan = if global {
         ctx.kavlan.create_vlan(VlanKind::Global, None)
@@ -415,6 +456,80 @@ mod tests {
         };
         let report = h.run(&cfg);
         assert!(report.passed(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn oarstate_reports_site_power_outage_once() {
+        let mut h = Harness::new(20);
+        let site = h.tb.site_by_name("east").unwrap().id;
+        h.tb.apply_fault(
+            ttt_testbed::FaultKind::SitePowerOutage,
+            FaultTarget::Site(site),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let cfg = TestConfig {
+            family: Family::OarState,
+            target: Target::Site("east".into()),
+        };
+        let report = h.run(&cfg);
+        assert!(!report.passed());
+        // One site-level diagnostic, not one per dead node.
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(
+            report.diagnostics[0].signature,
+            format!("site-power-outage@{site}")
+        );
+    }
+
+    #[test]
+    fn cmdline_detects_clock_skew() {
+        let mut h = Harness::new(21);
+        let site = h.tb.site_by_name("west").unwrap().id;
+        h.tb.apply_fault(
+            ttt_testbed::FaultKind::ClockSkew,
+            FaultTarget::Site(site),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let cfg = TestConfig {
+            family: Family::Cmdline,
+            target: Target::Site("west".into()),
+        };
+        let report = h.run(&cfg);
+        assert!(!report.passed());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.signature == format!("clock-skew@{site}")));
+    }
+
+    #[test]
+    fn kavlan_global_detects_site_link_partition() {
+        let mut h = Harness::new(22);
+        let (a, b) = (h.tb.sites()[0].id, h.tb.sites()[1].id);
+        h.tb.apply_fault(
+            ttt_testbed::FaultKind::SiteLinkPartition,
+            FaultTarget::SiteLink(a, b),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let cfg = TestConfig {
+            family: Family::Kavlan,
+            target: Target::Global,
+        };
+        let report = h.run(&cfg);
+        assert!(!report.passed());
+        assert_eq!(
+            report.diagnostics[0].signature,
+            format!("site-link-partition@{a}~{b}")
+        );
+        // Local (single-site) kavlan is unaffected by the partition.
+        let local = TestConfig {
+            family: Family::Kavlan,
+            target: Target::Site("east".into()),
+        };
+        assert!(h.run(&local).passed());
     }
 
     #[test]

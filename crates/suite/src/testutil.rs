@@ -71,7 +71,7 @@ impl Harness {
 
     /// Derive a plausible OAR assignment for a configuration.
     fn derive_assignment(&self, cfg: &TestConfig) -> Vec<NodeId> {
-        let alive = |n: &NodeId| self.tb.node(*n).condition.alive;
+        let alive = |n: &NodeId| self.tb.node_alive(*n);
         match &cfg.target {
             Target::Cluster(c) | Target::ImageCluster { cluster: c, .. } => {
                 let nodes: Vec<NodeId> = self
@@ -90,7 +90,7 @@ impl Harness {
                 self.tb
                     .nodes()
                     .iter()
-                    .filter(|n| Some(n.site) == site && n.condition.alive)
+                    .filter(|n| Some(n.site) == site && self.tb.node_alive(n.id))
                     .map(|n| n.id)
                     .take(2)
                     .collect()

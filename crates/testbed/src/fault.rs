@@ -64,11 +64,19 @@ pub enum FaultKind {
     ServiceDown,
     /// Node hardware died outright.
     NodeDead,
+    /// A whole site lost power: every node of the site is unreachable
+    /// until the outage is repaired (the multi-site failure class the
+    /// single-domain model could never express).
+    SitePowerOutage,
+    /// The backbone link between two sites is partitioned.
+    SiteLinkPartition,
+    /// A site's clock drifted away from the federation's NTP reference.
+    ClockSkew,
 }
 
 impl FaultKind {
     /// All kinds, in a stable order.
-    pub const ALL: [FaultKind; 17] = [
+    pub const ALL: [FaultKind; 20] = [
         FaultKind::DiskWriteCacheDrift,
         FaultKind::DiskFirmwareDrift,
         FaultKind::CpuCStatesDrift,
@@ -86,6 +94,17 @@ impl FaultKind {
         FaultKind::ServiceFlaky,
         FaultKind::ServiceDown,
         FaultKind::NodeDead,
+        FaultKind::SitePowerOutage,
+        FaultKind::SiteLinkPartition,
+        FaultKind::ClockSkew,
+    ];
+
+    /// The site-scoped kinds (target whole sites or inter-site links, not
+    /// individual nodes or services).
+    pub const SITE_SCOPED: [FaultKind; 3] = [
+        FaultKind::SitePowerOutage,
+        FaultKind::SiteLinkPartition,
+        FaultKind::ClockSkew,
     ];
 
     /// Short stable name used in bug signatures.
@@ -108,6 +127,9 @@ impl FaultKind {
             FaultKind::ServiceFlaky => "service-flaky",
             FaultKind::ServiceDown => "service-down",
             FaultKind::NodeDead => "node-dead",
+            FaultKind::SitePowerOutage => "site-power-outage",
+            FaultKind::SiteLinkPartition => "site-link-partition",
+            FaultKind::ClockSkew => "clock-skew",
         }
     }
 
@@ -115,8 +137,18 @@ impl FaultKind {
     pub fn is_node_fault(self) -> bool {
         !matches!(
             self,
-            FaultKind::CablingSwap | FaultKind::ServiceFlaky | FaultKind::ServiceDown
+            FaultKind::CablingSwap
+                | FaultKind::ServiceFlaky
+                | FaultKind::ServiceDown
+                | FaultKind::SitePowerOutage
+                | FaultKind::SiteLinkPartition
+                | FaultKind::ClockSkew
         )
+    }
+
+    /// Whether this fault targets a site or an inter-site link.
+    pub fn is_site_fault(self) -> bool {
+        Self::SITE_SCOPED.contains(&self)
     }
 }
 
@@ -135,6 +167,11 @@ pub enum FaultTarget {
     NodePair(NodeId, NodeId),
     /// A site service.
     Service(SiteId, ServiceKind),
+    /// A whole site (power outages, clock skew).
+    Site(SiteId),
+    /// The backbone link between two sites (stored with the lower id
+    /// first; [`Testbed::apply_fault`] normalizes).
+    SiteLink(SiteId, SiteId),
 }
 
 /// An injected, currently-active fault.
@@ -158,6 +195,8 @@ impl Fault {
             FaultTarget::Node(n) => format!("{}@{}", self.kind, n),
             FaultTarget::NodePair(a, b) => format!("{}@{}+{}", self.kind, a, b),
             FaultTarget::Service(s, k) => format!("{}@{}/{}", self.kind, s, k),
+            FaultTarget::Site(s) => format!("{}@{}", self.kind, s),
+            FaultTarget::SiteLink(a, b) => format!("{}@{}~{}", self.kind, a, b),
         }
     }
 
@@ -165,7 +204,7 @@ impl Fault {
     pub fn cluster_of(&self, tb: &Testbed) -> Option<ClusterId> {
         match self.target {
             FaultTarget::Node(n) | FaultTarget::NodePair(n, _) => Some(tb.node(n).cluster),
-            FaultTarget::Service(..) => None,
+            FaultTarget::Service(..) | FaultTarget::Site(..) | FaultTarget::SiteLink(..) => None,
         }
     }
 }
@@ -205,6 +244,9 @@ impl Default for InjectorConfig {
                 (FaultKind::ServiceFlaky, 0.08),
                 (FaultKind::ServiceDown, 0.03),
                 (FaultKind::NodeDead, 0.04),
+                (FaultKind::SitePowerOutage, 0.01),
+                (FaultKind::SiteLinkPartition, 0.02),
+                (FaultKind::ClockSkew, 0.03),
             ],
             maintenance_per_day: 0.10,
             maintenance_spread: 6,
@@ -391,6 +433,20 @@ pub fn inject_random<R: Rng>(
             let site = SiteId((rng.gen_range(0..tb.sites().len())) as u16);
             let svc = *ServiceKind::ALL.choose(rng).unwrap();
             FaultTarget::Service(site, svc)
+        }
+        FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+            let site = SiteId((rng.gen_range(0..tb.sites().len())) as u16);
+            FaultTarget::Site(site)
+        }
+        FaultKind::SiteLinkPartition => {
+            // Two distinct sites; single-site testbeds have no links.
+            let n = tb.sites().len();
+            if n < 2 {
+                return None;
+            }
+            let a = rng.gen_range(0..n);
+            let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+            FaultTarget::SiteLink(SiteId(a as u16), SiteId(b as u16))
         }
         FaultKind::OfedFlaky => {
             // Only meaningful on Infiniband nodes.

@@ -224,6 +224,9 @@ impl TestbedBuilder {
             });
         }
 
+        // Full-mesh backbone between sites (SiteLinkPartition faults take
+        // individual links down).
+        topology.mesh_sites(sites.len());
         Testbed::from_parts(sites, clusters, nodes, topology)
     }
 }

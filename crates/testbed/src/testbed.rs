@@ -30,6 +30,10 @@ pub struct Testbed {
     /// [`Testbed::take_alive_dirty`] — the OAR server diffs against this
     /// instead of rescanning every node each pass.
     alive_dirty: Vec<NodeId>,
+    /// `site_power[site]` — false while a `SitePowerOutage` is active.
+    site_power: Vec<bool>,
+    /// `clock_skew_s[site]` — seconds of NTP drift (0.0 = in sync).
+    clock_skew_s: Vec<f64>,
 }
 
 impl Testbed {
@@ -44,7 +48,10 @@ impl Testbed {
             .iter()
             .map(|_| ServiceKind::ALL.iter().map(|&k| Service::healthy(k)).collect())
             .collect();
+        let n_sites = sites.len();
         Testbed {
+            site_power: vec![true; n_sites],
+            clock_skew_s: vec![0.0; n_sites],
             sites,
             clusters,
             nodes,
@@ -104,6 +111,26 @@ impl Testbed {
         &mut self.nodes[id.index()]
     }
 
+    /// Effective reachability of a node: its hardware is alive *and* its
+    /// site has power. Schedulers and status checks observe this, not the
+    /// raw hardware flag — a powered-off site looks exactly like a rack of
+    /// dead machines from the outside.
+    pub fn node_alive(&self, id: NodeId) -> bool {
+        let node = &self.nodes[id.index()];
+        node.condition.alive && self.site_power[node.site.index()]
+    }
+
+    /// Whether a site currently has power.
+    pub fn site_powered(&self, site: SiteId) -> bool {
+        self.site_power[site.index()]
+    }
+
+    /// A site's current clock skew against the federation reference, in
+    /// seconds (0.0 = synchronized).
+    pub fn clock_skew_of(&self, site: SiteId) -> f64 {
+        self.clock_skew_s[site.index()]
+    }
+
     /// Look a cluster up by name.
     pub fn cluster_by_name(&self, name: &str) -> Option<&Cluster> {
         self.clusters.iter().find(|c| c.name == name)
@@ -156,14 +183,18 @@ impl Testbed {
         self.active.iter().find(|f| f.id == id)
     }
 
-    /// Active faults touching `node`.
+    /// Active faults touching `node` (site-wide faults touch every node of
+    /// their site).
     pub fn faults_on_node(&self, node: NodeId) -> Vec<&Fault> {
+        let site = self.nodes[node.index()].site;
         self.active
             .iter()
             .filter(|f| match f.target {
                 FaultTarget::Node(n) => n == node,
                 FaultTarget::NodePair(a, b) => a == node || b == node,
                 FaultTarget::Service(..) => false,
+                FaultTarget::Site(s) => s == site,
+                FaultTarget::SiteLink(..) => false,
             })
             .collect()
     }
@@ -176,6 +207,12 @@ impl Testbed {
         target: FaultTarget,
         at: SimTime,
     ) -> Option<Fault> {
+        // Canonical endpoint order, so the signature of a partition between
+        // two sites is unique regardless of how the injector drew the pair.
+        let target = match target {
+            FaultTarget::SiteLink(a, b) if a > b => FaultTarget::SiteLink(b, a),
+            other => other,
+        };
         if !self.apply_effect(kind, target) {
             return None;
         }
@@ -385,6 +422,34 @@ impl Testbed {
                     false
                 }
             }
+            (FaultKind::SitePowerOutage, FaultTarget::Site(s)) => {
+                if s.index() >= self.sites.len() || !self.site_power[s.index()] {
+                    return false;
+                }
+                self.site_power[s.index()] = false;
+                // Only nodes whose effective reachability flipped (hardware
+                // alive, now unreachable) need reconciling downstream.
+                for node in &self.nodes {
+                    if node.site == s && node.condition.alive {
+                        self.alive_dirty.push(node.id);
+                    }
+                }
+                true
+            }
+            (FaultKind::SiteLinkPartition, FaultTarget::SiteLink(a, b)) => {
+                a != b
+                    && self.topology.sites_connected(a, b)
+                    && self.topology.set_site_link(a, b, false)
+            }
+            (FaultKind::ClockSkew, FaultTarget::Site(s)) => {
+                if s.index() >= self.sites.len() || self.clock_skew_s[s.index()] != 0.0 {
+                    return false;
+                }
+                // Deterministic per-site drift, well past any sane NTP
+                // tolerance (mirrors the per-node boot-delay convention).
+                self.clock_skew_s[s.index()] = 30.0 + (s.0 % 90) as f64;
+                true
+            }
             // Kind/target mismatch: reject rather than panic, the injector
             // never produces these but library users could.
             _ => false,
@@ -398,6 +463,22 @@ impl Testbed {
             }
             (FaultKind::ServiceFlaky | FaultKind::ServiceDown, FaultTarget::Service(site, svc)) => {
                 self.service_mut(site, svc).health = ServiceHealth::Healthy;
+            }
+            (FaultKind::SitePowerOutage, FaultTarget::Site(s)) => {
+                self.site_power[s.index()] = true;
+                // Nodes whose hardware survived come back reachable; nodes
+                // separately dead (NodeDead) flip nothing.
+                for node in &self.nodes {
+                    if node.site == s && node.condition.alive {
+                        self.alive_dirty.push(node.id);
+                    }
+                }
+            }
+            (FaultKind::SiteLinkPartition, FaultTarget::SiteLink(a, b)) => {
+                self.topology.set_site_link(a, b, true);
+            }
+            (FaultKind::ClockSkew, FaultTarget::Site(s)) => {
+                self.clock_skew_s[s.index()] = 0.0;
             }
             (kind, FaultTarget::Node(n)) => {
                 let reference = self.reference_of(n).clone();
@@ -623,6 +704,132 @@ mod tests {
         tb.apply_fault(FaultKind::TurboDrift, FaultTarget::Node(b), SimTime::ZERO);
         assert_eq!(tb.faults_on_node(a).len(), 2);
         assert_eq!(tb.faults_on_node(b).len(), 2);
+    }
+
+    #[test]
+    fn site_outage_kills_and_repair_restores_reachability() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let site_nodes: Vec<_> = tb
+            .nodes()
+            .iter()
+            .filter(|n| n.site == site)
+            .map(|n| n.id)
+            .collect();
+        let other: Vec<_> = tb
+            .nodes()
+            .iter()
+            .filter(|n| n.site != site)
+            .map(|n| n.id)
+            .collect();
+        let f = tb
+            .apply_fault(FaultKind::SitePowerOutage, FaultTarget::Site(site), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(f.signature(), format!("site-power-outage@{site}"));
+        assert!(!tb.site_powered(site));
+        for &n in &site_nodes {
+            assert!(!tb.node_alive(n), "{n} should be unreachable");
+            // Hardware itself is fine — only the power is gone.
+            assert!(tb.node(n).condition.alive);
+        }
+        for &n in &other {
+            assert!(tb.node_alive(n));
+        }
+        // Every affected node was marked dirty exactly once.
+        assert_eq!(tb.take_alive_dirty(), site_nodes);
+        // Double outage is a no-op.
+        assert!(tb
+            .apply_fault(FaultKind::SitePowerOutage, FaultTarget::Site(site), SimTime::ZERO)
+            .is_none());
+        assert!(tb.repair(f.id));
+        assert!(tb.site_powered(site));
+        assert_eq!(tb.take_alive_dirty(), site_nodes);
+        assert!(site_nodes.iter().all(|&n| tb.node_alive(n)));
+    }
+
+    #[test]
+    fn site_outage_does_not_resurrect_dead_hardware() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let victim = tb.clusters()[0].nodes[0];
+        tb.apply_fault(FaultKind::NodeDead, FaultTarget::Node(victim), SimTime::ZERO)
+            .unwrap();
+        let outage = tb
+            .apply_fault(FaultKind::SitePowerOutage, FaultTarget::Site(site), SimTime::ZERO)
+            .unwrap();
+        tb.take_alive_dirty();
+        tb.repair(outage.id);
+        // Power is back, but the separately-dead node stays dead — and is
+        // not in the dirty set (its effective state never flipped).
+        assert!(!tb.node_alive(victim));
+        assert!(!tb.take_alive_dirty().contains(&victim));
+    }
+
+    #[test]
+    fn link_partition_normalizes_and_repairs() {
+        let mut tb = tb();
+        let (a, b) = (tb.sites()[0].id, tb.sites()[1].id);
+        // Inject with endpoints reversed: the stored fault is normalized.
+        let f = tb
+            .apply_fault(
+                FaultKind::SiteLinkPartition,
+                FaultTarget::SiteLink(b, a),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(f.target, FaultTarget::SiteLink(a, b));
+        assert_eq!(f.signature(), format!("site-link-partition@{a}~{b}"));
+        assert!(!tb.topology().sites_connected(a, b));
+        // Same pair again (either order) is a no-op.
+        assert!(tb
+            .apply_fault(
+                FaultKind::SiteLinkPartition,
+                FaultTarget::SiteLink(a, b),
+                SimTime::ZERO
+            )
+            .is_none());
+        assert!(tb.repair(f.id));
+        assert!(tb.topology().sites_connected(a, b));
+        // Self-partition is rejected.
+        assert!(tb
+            .apply_fault(
+                FaultKind::SiteLinkPartition,
+                FaultTarget::SiteLink(a, a),
+                SimTime::ZERO
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn clock_skew_applies_and_repairs() {
+        let mut tb = tb();
+        let site = tb.sites()[1].id;
+        assert_eq!(tb.clock_skew_of(site), 0.0);
+        let f = tb
+            .apply_fault(FaultKind::ClockSkew, FaultTarget::Site(site), SimTime::ZERO)
+            .unwrap();
+        assert!(tb.clock_skew_of(site) >= 30.0);
+        // Skew never touches reachability.
+        assert!(tb.alive_dirty().is_empty());
+        assert!(tb
+            .apply_fault(FaultKind::ClockSkew, FaultTarget::Site(site), SimTime::ZERO)
+            .is_none());
+        tb.repair(f.id);
+        assert_eq!(tb.clock_skew_of(site), 0.0);
+    }
+
+    #[test]
+    fn site_faults_touch_site_nodes() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        tb.apply_fault(FaultKind::SitePowerOutage, FaultTarget::Site(site), SimTime::ZERO)
+            .unwrap();
+        let on_site = tb.sites()[0].clusters[0];
+        let n = tb.cluster(on_site).nodes[0];
+        assert_eq!(tb.faults_on_node(n).len(), 1);
+        let off_site = tb.sites()[1].clusters[0];
+        let m = tb.cluster(off_site).nodes[0];
+        assert!(tb.faults_on_node(m).is_empty());
     }
 
     #[test]

@@ -48,6 +48,19 @@ pub struct Pdu {
     pub ports: u16,
 }
 
+/// A backbone link between two sites (the RENATER-style dark fibre of the
+/// real testbed). Links are stored with `a < b`; the generator creates a
+/// full mesh, and the `SiteLinkPartition` fault takes one down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteLink {
+    /// Lower site endpoint.
+    pub a: SiteId,
+    /// Higher site endpoint.
+    pub b: SiteId,
+    /// Whether traffic currently flows.
+    pub up: bool,
+}
+
 /// The full cabling state of the testbed.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Topology {
@@ -61,9 +74,58 @@ pub struct Topology {
     /// the wattmeter *labelled* `n` actually measures. Identity when the
     /// cabling is correct; a `CablingSwap` fault swaps two entries.
     pub wattmeter_of: HashMap<NodeId, NodeId>,
+    /// Inter-site backbone links (full mesh, endpoints ordered `a < b`).
+    pub site_links: Vec<SiteLink>,
 }
 
 impl Topology {
+    /// Register the full mesh of backbone links for `n_sites` sites, all up.
+    pub fn mesh_sites(&mut self, n_sites: usize) {
+        self.site_links.clear();
+        for a in 0..n_sites {
+            for b in (a + 1)..n_sites {
+                self.site_links.push(SiteLink {
+                    a: SiteId(a as u16),
+                    b: SiteId(b as u16),
+                    up: true,
+                });
+            }
+        }
+    }
+
+    fn link_position(&self, a: SiteId, b: SiteId) -> Option<usize> {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.site_links.iter().position(|l| l.a == lo && l.b == hi)
+    }
+
+    /// Whether traffic can flow between two sites. Intra-site traffic and
+    /// unknown pairs (single-site testbeds) are always connected.
+    pub fn sites_connected(&self, a: SiteId, b: SiteId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.link_position(a, b)
+            .map(|i| self.site_links[i].up)
+            .unwrap_or(true)
+    }
+
+    /// Set one backbone link up or down. Returns false when the pair has no
+    /// link (same site, or a site the mesh never covered).
+    pub fn set_site_link(&mut self, a: SiteId, b: SiteId, up: bool) -> bool {
+        match self.link_position(a, b) {
+            Some(i) => {
+                self.site_links[i].up = up;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Count of currently partitioned site pairs.
+    pub fn partitioned_pairs(&self) -> usize {
+        self.site_links.iter().filter(|l| !l.up).count()
+    }
+
     /// Register a node on a switch port and wire its wattmeter correctly.
     pub fn attach_node(&mut self, node: NodeId, port: PortRef) {
         self.uplink.insert(node, port);
@@ -148,5 +210,43 @@ mod tests {
     fn unknown_label_measures_itself() {
         let t = Topology::default();
         assert_eq!(t.measured_node(NodeId(99)), NodeId(99));
+    }
+
+    #[test]
+    fn site_mesh_connects_every_pair() {
+        let mut t = Topology::default();
+        t.mesh_sites(3);
+        assert_eq!(t.site_links.len(), 3);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                assert!(t.sites_connected(SiteId(a), SiteId(b)));
+            }
+        }
+        assert_eq!(t.partitioned_pairs(), 0);
+    }
+
+    #[test]
+    fn link_partition_and_repair_in_either_order() {
+        let mut t = Topology::default();
+        t.mesh_sites(3);
+        // Endpoint order must not matter.
+        assert!(t.set_site_link(SiteId(2), SiteId(0), false));
+        assert!(!t.sites_connected(SiteId(0), SiteId(2)));
+        assert!(!t.sites_connected(SiteId(2), SiteId(0)));
+        // Unrelated pairs stay connected; intra-site always does.
+        assert!(t.sites_connected(SiteId(0), SiteId(1)));
+        assert!(t.sites_connected(SiteId(2), SiteId(2)));
+        assert_eq!(t.partitioned_pairs(), 1);
+        assert!(t.set_site_link(SiteId(0), SiteId(2), true));
+        assert_eq!(t.partitioned_pairs(), 0);
+    }
+
+    #[test]
+    fn unknown_pairs_count_as_connected() {
+        let mut t = Topology::default();
+        t.mesh_sites(1);
+        assert!(t.site_links.is_empty());
+        assert!(t.sites_connected(SiteId(0), SiteId(5)));
+        assert!(!t.set_site_link(SiteId(0), SiteId(5), false));
     }
 }

@@ -74,6 +74,34 @@ pub fn validate(tb: &Testbed) -> Result<(), String> {
             return Err(format!("duplicate node name {}", node.name));
         }
     }
+    // Backbone mesh: exactly one link per unordered site pair, endpoints
+    // ordered and in range.
+    let n_sites = tb.sites().len();
+    let links = &tb.topology().site_links;
+    let expected = n_sites * n_sites.saturating_sub(1) / 2;
+    if links.len() != expected {
+        return Err(format!(
+            "site mesh has {} links, expected {expected} for {n_sites} sites",
+            links.len()
+        ));
+    }
+    let mut pairs = std::collections::HashSet::new();
+    for l in links {
+        if l.a >= l.b {
+            return Err(format!("site link {}~{} endpoints out of order", l.a, l.b));
+        }
+        if l.b.index() >= n_sites {
+            return Err(format!("site link {}~{} beyond the site range", l.a, l.b));
+        }
+        if !pairs.insert((l.a, l.b)) {
+            return Err(format!("duplicate site link {}~{}", l.a, l.b));
+        }
+    }
+    // Site-scoped state vectors track the site arena.
+    for site in tb.sites() {
+        let _ = tb.site_powered(site.id);
+        let _ = tb.clock_skew_of(site.id);
+    }
     Ok(())
 }
 

@@ -39,7 +39,9 @@ fn owning_family(kind: FaultKind) -> (Family, Target) {
         ConsoleDead => cluster(Family::Console),
         VlanPortStuck => site(Family::Kavlan),
         ServiceFlaky | ServiceDown => site(Family::Cmdline),
-        NodeDead => site(Family::OarState),
+        NodeDead | SitePowerOutage => site(Family::OarState),
+        ClockSkew => site(Family::Cmdline),
+        SiteLinkPartition => (Family::Kavlan, Target::Global),
     }
 }
 
@@ -90,6 +92,12 @@ fn main() {
             FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
                 FaultTarget::Service(w.tb.sites()[0].id, ServiceKind::KadeployServer)
             }
+            FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+                FaultTarget::Site(w.tb.sites()[0].id)
+            }
+            FaultKind::SiteLinkPartition => {
+                FaultTarget::SiteLink(w.tb.sites()[0].id, w.tb.sites()[1].id)
+            }
             _ => FaultTarget::Node(nodes[0]),
         };
         if w.tb.apply_fault(kind, fault_target, SimTime::ZERO).is_none() {
@@ -108,6 +116,9 @@ fn main() {
         let cfg = TestConfig { family, target };
         let assigned: Vec<NodeId> = if cfg.family.hardware_centric() {
             nodes.clone()
+        } else if matches!(cfg.target, Target::Global) {
+            let remote = w.tb.sites()[1].clusters[0];
+            vec![nodes[0], w.tb.cluster(remote).nodes[0]]
         } else if matches!(cfg.target, Target::Site(_)) {
             vec![nodes[0], nodes[2 % nodes.len()]]
         } else {

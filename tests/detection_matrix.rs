@@ -181,3 +181,23 @@ fn dead_service_detected_by_cmdline() {
 fn dead_node_detected_by_oarstate() {
     assert_detected(FaultKind::NodeDead, Family::OarState, site(), 1);
 }
+
+#[test]
+fn site_power_outage_detected_by_oarstate() {
+    assert_detected(FaultKind::SitePowerOutage, Family::OarState, site(), 1);
+}
+
+#[test]
+fn site_link_partition_detected_by_global_kavlan() {
+    assert_detected(
+        FaultKind::SiteLinkPartition,
+        Family::Kavlan,
+        Target::Global,
+        1,
+    );
+}
+
+#[test]
+fn clock_skew_detected_by_cmdline() {
+    assert_detected(FaultKind::ClockSkew, Family::Cmdline, site(), 1);
+}

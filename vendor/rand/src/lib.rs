@@ -137,13 +137,34 @@ macro_rules! impl_range_float {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "gen_range: empty range");
-                lo + <$t>::sample_standard(rng) * (hi - lo)
+                // Unit draw over [0, 1] *inclusive* (unlike the half-open
+                // `Range` impl), so `hi` itself is reachable — callers use
+                // `lo..=hi` precisely when the documented bound must be.
+                lo + <$t>::sample_unit_inclusive(rng) * (hi - lo)
             }
         }
     )*};
 }
 
 impl_range_float!(f32, f64);
+
+/// Float helpers for inclusive-range sampling.
+trait UnitInclusive {
+    /// A uniform draw over `[0, 1]` with both endpoints reachable.
+    fn sample_unit_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UnitInclusive for f64 {
+    fn sample_unit_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+    }
+}
+
+impl UnitInclusive for f32 {
+    fn sample_unit_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / ((1u32 << 24) - 1) as f32)
+    }
+}
 
 /// High-level convenience methods, blanket-implemented for every `RngCore`.
 pub trait Rng: RngCore {
@@ -304,6 +325,34 @@ mod tests {
             assert!((0.0..1.0).contains(&f));
             let i: i64 = rng.gen_range(-5..=5);
             assert!((-5..=5).contains(&i));
+        }
+    }
+
+    /// An `RngCore` pinned to one output word, for endpoint tests.
+    struct ConstRng(u64);
+    impl crate::RngCore for ConstRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_reaches_both_endpoints() {
+        use crate::Rng;
+        // All-ones mantissa draw maps to exactly 1.0 under the inclusive
+        // unit sampler, so `gen_range(lo..=hi)` can return `hi` itself —
+        // the property the half-open impl (by design) lacks.
+        let hi: f64 = ConstRng(u64::MAX).gen_range(0.25..=0.75);
+        assert_eq!(hi, 0.75);
+        let lo: f64 = ConstRng(0).gen_range(0.25..=0.75);
+        assert_eq!(lo, 0.25);
+        let hi32: f32 = ConstRng(u64::MAX).gen_range(1.0f32..=3.0);
+        assert_eq!(hi32, 3.0);
+        // And the draw stays inside the band for arbitrary words.
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen_range(-2.0..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
         }
     }
 
