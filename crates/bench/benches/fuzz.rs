@@ -1,0 +1,41 @@
+//! Coverage-guided fuzzing throughput: the cost of the 64-execution
+//! acceptance budget, and the random baseline it is judged against.
+//!
+//! The headline metric of this subsystem is scenario-*diversity* per
+//! CPU-second, not raw scenarios/sec — the committed plateau comparison
+//! (fuzzer ≤ 64 executions vs a 256-seed random sweep) lives in
+//! BENCH_5.json next to these medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ttt_scengen::{random_coverage, run_fuzz, seed_block, Corpus, FuzzConfig};
+
+fn bench_fuzz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz");
+    group.sample_size(10);
+
+    group.bench_function("64_executions_coverage_only", |b| {
+        let cfg = FuzzConfig {
+            root_seed: 1,
+            budget: 64,
+            ..FuzzConfig::default()
+        };
+        b.iter(|| {
+            let report = run_fuzz(&cfg, Corpus::new());
+            black_box(report.corpus.len())
+        })
+    });
+
+    group.bench_function("random_64_coverage_only", |b| {
+        let seeds = seed_block(1, 64);
+        b.iter(|| {
+            let (corpus, _) = random_coverage(&seeds);
+            black_box(corpus.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz);
+criterion_main!(benches);

@@ -24,12 +24,7 @@ fn bench_swarm(c: &mut Criterion) {
 
     group.bench_function("8_seeds_next_event_only", |b| {
         let seeds = seed_block(1, 8);
-        let oracles = Oracles {
-            equivalence: false,
-            detection: false,
-            conservation: false,
-            tests_run_limit: None,
-        };
+        let oracles = Oracles::none();
         b.iter(|| {
             let report = run_swarm(&seeds, &oracles, false);
             black_box(report.total_tests_run())

@@ -51,6 +51,29 @@ struct BlockedWork {
     oar_job: FedJob,
 }
 
+/// The wake-reason labels, indexed by the counter slots of
+/// [`Campaign::wake_reasons`] — one per `next_wake` term, in scan order,
+/// plus the quiet jump-to-horizon case. The mix of winning reasons is a
+/// behavioral fingerprint of a campaign (which subsystems actually drove
+/// its timeline), read by the coverage-guided fuzzer. Only the next-event
+/// engine populates it; lockstep never computes wakes.
+pub const WAKE_REASONS: [&str; 14] = [
+    "dirty-nodes",
+    "free-executor",
+    "test-completion",
+    "scheduler-due",
+    "naive-due",
+    "user-arrival",
+    "fault-arrival",
+    "oar-event",
+    "ci-cron",
+    "rollout-phase",
+    "operator-cadence",
+    "sample-cadence",
+    "snapshot-cadence",
+    "quiet",
+];
+
 /// The whole system, advancing in lockstep over virtual time.
 pub struct Campaign {
     cfg: CampaignConfig,
@@ -101,6 +124,14 @@ pub struct Campaign {
     last_op_step: SimTime,
     /// Last utilization sample (taken on `sample_cadence`).
     last_sample: SimTime,
+    /// Winning `next_wake` term counts, indexed like [`WAKE_REASONS`].
+    wake_reasons: [u64; WAKE_REASONS.len()],
+    /// Whether the last sample saw the federation saturated (edge detector
+    /// for `metrics.saturation_episodes`).
+    in_saturation: bool,
+    /// Whether the last sample saw a blacked-out site (edge detector for
+    /// `metrics.blackout_episodes`).
+    in_blackout: bool,
 }
 
 impl Campaign {
@@ -197,6 +228,9 @@ impl Campaign {
             last_snapshot: SimTime::ZERO,
             last_op_step: SimTime::ZERO,
             last_sample: SimTime::ZERO,
+            wake_reasons: [0; WAKE_REASONS.len()],
+            in_saturation: false,
+            in_blackout: false,
             cfg,
         }
     }
@@ -235,6 +269,19 @@ impl Campaign {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Winning wake-reason counts, `(label, count)` with zero entries
+    /// skipped. Empty for lockstep runs (that engine never computes
+    /// wakes), so this is *not* an engine-equivalence observable — it is
+    /// the coverage fuzzer's view of which subsystems drove the timeline.
+    pub fn wake_reasons(&self) -> Vec<(&'static str, u64)> {
+        WAKE_REASONS
+            .iter()
+            .zip(self.wake_reasons)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&r, n)| (r, n))
+            .collect()
     }
 
     /// Build the status page from the CI server's REST views.
@@ -313,16 +360,38 @@ impl Campaign {
     /// streams cache their primed draw), so skipping the later terms on
     /// one wake never perturbs any stochastic stream.
     fn next_wake(&mut self, next_grid: SimTime) -> Option<SimTime> {
-        let mut wake: Option<SimTime> = None;
+        match self.next_wake_scan(next_grid) {
+            Some((t, reason)) => {
+                self.wake_reasons[reason] += 1;
+                Some(t)
+            }
+            None => {
+                // "quiet" is the last slot: nothing pending anywhere.
+                self.wake_reasons[WAKE_REASONS.len() - 1] += 1;
+                None
+            }
+        }
+    }
+
+    /// The scan behind [`Campaign::next_wake`], returning the winning term
+    /// as `(instant, WAKE_REASONS index)` so the wake-reason mix can be
+    /// counted without perturbing the timing logic.
+    fn next_wake_scan(&mut self, next_grid: SimTime) -> Option<(SimTime, usize)> {
+        let mut wake: Option<(SimTime, usize)> = None;
+        let mut reason = 0usize;
         macro_rules! merge {
             ($t:expr) => {
-                wake = match (wake, $t) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-                if wake.is_some_and(|w| w <= next_grid) {
-                    return wake;
+                if let Some(t) = $t {
+                    // Earliest instant wins; the first term to reach a tied
+                    // instant keeps the reason (scan order = priority).
+                    if wake.is_none() || wake.is_some_and(|(w, _)| t < w) {
+                        wake = Some((t, reason));
+                    }
+                    if wake.is_some_and(|(w, _)| w <= next_grid) {
+                        return wake;
+                    }
                 }
+                reason += 1;
             };
         }
         // Cheapest immediate-wake terms first (each short-circuits the
@@ -331,25 +400,26 @@ impl Campaign {
         // Testbed alive-state changed since the last sync (operator
         // repairs land between syncs): reconcile on the very next grid
         // instant, exactly when the lockstep engine would.
-        if !self.tb.alive_dirty().is_empty() {
-            merge!(Some(self.now + SimDuration::from_nanos(1)));
-        }
+        merge!((!self.tb.alive_dirty().is_empty())
+            .then(|| self.now + SimDuration::from_nanos(1)));
         // A free executor with builds still queued: `start_work` can finish
         // a build immediately (unstable — no testbed resources), freeing
         // its executor after the step's assignment pass already ran. The
         // lockstep engine picks the next queued build up on the very next
         // grid instant; wake then so this engine does too.
-        if self.ci.queue_len() > 0 && self.ci.busy_executors() < self.ci.executor_count() {
-            merge!(Some(self.now + SimDuration::from_nanos(1)));
-        }
+        merge!((self.ci.queue_len() > 0
+            && self.ci.busy_executors() < self.ci.executor_count())
+            .then(|| self.now + SimDuration::from_nanos(1)));
         // Test completions.
         merge!(self.running.peek_time());
-        // Scheduling decisions.
+        // Scheduling decisions (two reason slots, one per mode).
         match self.cfg.mode {
             SchedulingMode::External => {
                 merge!(self.sched.next_due_time());
+                reason += 1;
             }
             SchedulingMode::NaiveCron { .. } => {
+                reason += 1;
                 merge!(self.peek_naive_due());
             }
         }
@@ -369,6 +439,7 @@ impl Campaign {
         merge!(Some(self.last_op_step + self.cfg.operator_cadence));
         merge!(Some(self.last_sample + self.cfg.sample_cadence));
         merge!(Some(self.last_snapshot + SimDuration::from_days(1)));
+        let _ = reason;
         wake
     }
 
@@ -418,13 +489,26 @@ impl Campaign {
                 }
             }
         }
-        // 10. Metrics sampling on a bounded cadence.
+        // 10. Metrics sampling on a bounded cadence. Saturation/blackout
+        //     episodes are edges observed at the same instants under both
+        //     engines, so they stay engine-equivalence observables.
         if t.since(self.last_sample) >= self.cfg.sample_cadence {
             self.last_sample = t;
             self.metrics
                 .executor_busy
                 .push(self.ci.busy_executors() as f64 / self.ci.executor_count() as f64);
-            self.metrics.oar_utilization.push(self.fed.utilization());
+            let util = self.fed.utilization();
+            self.metrics.oar_utilization.push(util);
+            let saturated = util >= 1.0;
+            if saturated && !self.in_saturation {
+                self.metrics.saturation_episodes += 1;
+            }
+            self.in_saturation = saturated;
+            let blackout = self.fed.dead_domains() > 0;
+            if blackout && !self.in_blackout {
+                self.metrics.blackout_episodes += 1;
+            }
+            self.in_blackout = blackout;
         }
         if t.since(self.last_snapshot) >= SimDuration::from_days(1) {
             self.last_snapshot = t;
@@ -686,6 +770,17 @@ impl Campaign {
             let family = self.suite[r.suite_idx].family.job_name();
             for d in &r.report.diagnostics {
                 self.tracker.file(&d.signature, family, &d.message, t);
+                // Attribute the detection to the fault kind behind the
+                // diagnostic — the detected half of the injected × detected
+                // coverage feature. Unattributable diagnostics (fault
+                // already repaired, stale symptom) stay unclassified.
+                if let Some(kind) = find_fault(&self.tb, &d.signature).map(|f| f.kind) {
+                    *self
+                        .metrics
+                        .detected_by_kind
+                        .entry(kind.name().to_string())
+                        .or_insert(0) += 1;
+                }
             }
             self.record_result(r.suite_idx, r.report.passed(), t);
         }

@@ -29,6 +29,17 @@ pub struct CampaignMetrics {
     pub test_latency_hours: OnlineStats,
     /// Completed runs per family.
     pub completions_per_family: BTreeMap<String, u64>,
+    /// Diagnostics filed per fault kind (keyed by the kind's stable name):
+    /// how often the testing pipeline *detected* each kind. Together with
+    /// the testbed's injection ledger this is the injected × detected
+    /// feature the coverage-guided fuzzer fingerprints.
+    pub detected_by_kind: BTreeMap<String, u64>,
+    /// Rising edges of testbed saturation (every alive node busy) observed
+    /// at the utilization-sampling cadence.
+    pub saturation_episodes: u64,
+    /// Rising edges of a site blackout (some site with zero alive nodes)
+    /// observed at the sampling cadence.
+    pub blackout_episodes: u64,
 }
 
 impl Default for CampaignMetrics {
@@ -45,6 +56,9 @@ impl Default for CampaignMetrics {
             user_wait_hours: OnlineStats::new(),
             test_latency_hours: OnlineStats::new(),
             completions_per_family: BTreeMap::new(),
+            detected_by_kind: BTreeMap::new(),
+            saturation_episodes: 0,
+            blackout_episodes: 0,
         }
     }
 }

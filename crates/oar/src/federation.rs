@@ -111,6 +111,11 @@ pub struct Federation {
     /// Jobs placed off their home domain (the spillover counter is an
     /// engine-equivalence observable).
     spillovers: u64,
+    /// Spillovers received per domain: `spillovers_in[d]` counts jobs that
+    /// landed on domain `d` away from their home site.
+    spillovers_in: Vec<u64>,
+    /// Cross-site co-allocations booked (`oargridsub`-style splits).
+    co_allocations: u64,
     now: SimTime,
 }
 
@@ -142,11 +147,14 @@ impl Federation {
                 oar,
             });
         }
+        let n = domains.len();
         Federation {
             domains,
             domain_of_cluster,
             domain_of_site,
             spillovers: 0,
+            spillovers_in: vec![0; n],
+            co_allocations: 0,
             now: SimTime::ZERO,
         }
     }
@@ -180,6 +188,22 @@ impl Federation {
     /// Jobs placed off their home domain so far.
     pub fn spillovers(&self) -> u64 {
         self.spillovers
+    }
+
+    /// Spillovers received per domain, in site order: how many jobs each
+    /// site absorbed away from their home site.
+    pub fn spillovers_by_domain(&self) -> &[u64] {
+        &self.spillovers_in
+    }
+
+    /// Cross-site co-allocations booked so far.
+    pub fn co_allocations(&self) -> u64 {
+        self.co_allocations
+    }
+
+    /// Number of domains with no alive node left (blacked-out sites).
+    pub fn dead_domains(&self) -> usize {
+        self.domains.iter().filter(|d| d.oar.alive_nodes() == 0).count()
     }
 
     /// The domain owning a site name.
@@ -321,6 +345,7 @@ impl Federation {
             Placement::Immediate(d) | Placement::Queued(d) => {
                 if home.is_some_and(|h| h != d) {
                     self.spillovers += 1;
+                    self.spillovers_in[d] += 1;
                 }
                 let id = self.domains[d].oar.submit(user, queue, kind, request)?;
                 Ok(FedJob { parts: vec![(d, id)] })
@@ -340,6 +365,7 @@ impl Federation {
                         }
                     }
                 }
+                self.co_allocations += 1;
                 Ok(FedJob { parts: out })
             }
             Placement::Nowhere => Err(SubmitError::Unsatisfiable),
@@ -540,6 +566,8 @@ mod tests {
         assert_eq!(job.primary_domain(), 1);
         assert_eq!(fed.job_state(&job), FedJobState::Running);
         assert_eq!(fed.spillovers(), 1);
+        // The receiving domain is credited, not the saturated home.
+        assert_eq!(fed.spillovers_by_domain(), &[0, 1]);
     }
 
     #[test]
@@ -590,6 +618,8 @@ mod tests {
             .unwrap();
         assert_eq!(job.parts.len(), 2);
         assert_eq!(fed.job_state(&job), FedJobState::Running);
+        assert_eq!(fed.co_allocations(), 1);
+        assert_eq!(fed.spillovers(), 0);
         let assigned = fed.assigned_nodes(&job);
         assert_eq!(assigned.len(), 2);
         let sites: std::collections::HashSet<_> =
@@ -646,8 +676,9 @@ mod tests {
             .unwrap();
         let dirty = tb.take_alive_dirty();
         fed.sync_dirty_nodes(&tb, &dirty);
-        // East's domain has no alive nodes left.
+        // East's domain has no alive nodes left: one blacked-out site.
         assert_eq!(fed.domain(0).oar.alive_nodes(), 0);
+        assert_eq!(fed.dead_domains(), 1);
         // A site-agnostic request homed on east lands on west.
         let job = fed
             .submit(

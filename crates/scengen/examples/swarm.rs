@@ -1,21 +1,160 @@
 //! Swarm CLI: sweep a block of seeds through the scenario grammar and the
-//! differential oracles, rayon-parallel.
+//! differential oracles, rayon-parallel — or run the coverage-guided
+//! fuzzer over an evolving corpus.
 //!
 //! ```text
+//! # Fixed-block sweep (the CI smoke mode):
 //! cargo run --release -p ttt_scengen --example swarm -- \
 //!     [--seeds N] [--base B] [--no-equivalence] [--no-detection] \
 //!     [--no-conservation] [--max-tests LIMIT] [--no-shrink] \
-//!     [--dump-dir DIR]
+//!     [--dump-dir DIR] [--replay-dir DIR]
+//!
+//! # Coverage-guided fuzzing:
+//! cargo run --release -p ttt_scengen --example swarm -- --fuzz \
+//!     [--budget N] [--batch N] [--root-seed S] [--corpus FILE] \
+//!     [--oracles] [--dump-dir DIR]
 //! ```
 //!
-//! Prints one line per scenario, a throughput summary, and — for every
-//! failure — the minimal reproducer seed and JSON dump. With `--dump-dir`
-//! each reproducer is also written to `DIR/repro-seed-<N>.json` so CI can
-//! upload the shrunken scenarios as workflow artifacts. Exits non-zero if
-//! any scenario violated an oracle, so CI can gate on it.
+//! Sweep mode prints one line per scenario, a throughput summary, and —
+//! for every failure — the minimal reproducer seed and JSON dump. With
+//! `--dump-dir` each reproducer is also written to
+//! `DIR/repro-seed-<N>.json` so CI can upload the shrunken scenarios as
+//! workflow artifacts. `--replay-dir` re-runs every `*.json` reproducer in
+//! a directory first; a dump written by an incompatible grammar version is
+//! reported and skipped, never a panic. Exits non-zero if any scenario
+//! violated an oracle.
+//!
+//! Fuzz mode evolves a corpus of coverage-novel scenarios from
+//! `--root-seed`, deterministically. `--corpus FILE` loads the starting
+//! corpus when the file exists (an incompatible corpus is reported and
+//! replaced) and writes the evolved corpus back. `--oracles` turns the
+//! differential oracles on during fuzzing; violations ("trophies") are
+//! shrunk and written to `--dump-dir` like sweep failures.
 
 use std::time::Instant;
-use ttt_scengen::{run_swarm, seed_block, Oracles};
+use ttt_scengen::{
+    replay, run_fuzz, run_swarm, seed_block, Corpus, FuzzConfig, Oracles, ScenarioOutcome,
+};
+
+fn write_reproducers(outcomes: &[&ScenarioOutcome], dump_dir: Option<&str>) {
+    for o in outcomes {
+        for v in &o.violations {
+            println!("seed {}: {v}", o.seed);
+        }
+        if let Some(r) = &o.reproducer {
+            println!(
+                "seed {}: minimal reproducer ({} h horizon, {} fault kinds, {} shrink passes): {}",
+                o.seed,
+                r.spec.duration_hours,
+                r.spec.fault_mix.len(),
+                r.passes,
+                r.dump
+            );
+            if let Some(dir) = dump_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                } else {
+                    let path = format!("{dir}/repro-seed-{}.json", o.seed);
+                    match std::fs::write(&path, &r.dump) {
+                        Ok(()) => println!("seed {}: reproducer written to {path}", o.seed),
+                        Err(e) => eprintln!("cannot write {path}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replay every `*.json` dump in `dir`. Unreadable dumps (older grammar,
+/// junk files) are reported and skipped — the sweep continues. Returns
+/// whether any dump still violates.
+fn replay_dir(dir: &str, oracles: &Oracles) -> bool {
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read --replay-dir {dir}: {e}");
+            return false;
+        }
+    };
+    entries.sort();
+    let mut any_violation = false;
+    for path in entries {
+        let name = path.display();
+        let dump = match std::fs::read_to_string(&path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("replay {name}: unreadable file ({e}), skipping");
+                continue;
+            }
+        };
+        match replay(&dump, oracles) {
+            Ok(violations) if violations.is_empty() => println!("replay {name}: clean"),
+            Ok(violations) => {
+                any_violation = true;
+                for v in violations {
+                    println!("replay {name}: {v}");
+                }
+            }
+            Err(e) => eprintln!("replay {name}: {e} — skipping"),
+        }
+    }
+    any_violation
+}
+
+fn run_fuzz_mode(cfg: FuzzConfig, corpus_path: Option<String>, dump_dir: Option<String>) -> i32 {
+    let corpus = match &corpus_path {
+        Some(path) if std::path::Path::new(path).exists() => {
+            match std::fs::read_to_string(path)
+                .map_err(|e| e.to_string())
+                .and_then(|json| Corpus::from_json(&json))
+            {
+                Ok(c) => {
+                    println!("corpus: loaded {} entries from {path}", c.len());
+                    c
+                }
+                Err(e) => {
+                    eprintln!("corpus {path}: {e} — starting fresh");
+                    Corpus::new()
+                }
+            }
+        }
+        _ => Corpus::new(),
+    };
+
+    let started = Instant::now();
+    let starting = corpus.len();
+    let report = run_fuzz(&cfg, corpus);
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "fuzz: {} executions in {} rounds -> {} signatures ({} novel) in {elapsed:.2}s ({:.1} exec/sec)",
+        report.executions,
+        report.rounds,
+        report.corpus.len(),
+        report.corpus.len() - starting,
+        report.executions as f64 / elapsed.max(1e-9),
+    );
+    if let Some(path) = &corpus_path {
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+            }
+        }
+        match std::fs::write(path, report.corpus.to_json()) {
+            Ok(()) => println!("corpus: {} entries written to {path}", report.corpus.len()),
+            Err(e) => eprintln!("cannot write corpus {path}: {e}"),
+        }
+    }
+    if !report.trophies.is_empty() {
+        println!("fuzz: {} trophies (oracle violations)", report.trophies.len());
+        let refs: Vec<&ScenarioOutcome> = report.trophies.iter().collect();
+        write_reproducers(&refs, dump_dir.as_deref());
+        return 1;
+    }
+    0
+}
 
 fn main() {
     let mut n: usize = 32;
@@ -23,6 +162,11 @@ fn main() {
     let mut oracles = Oracles::default();
     let mut shrink = true;
     let mut dump_dir: Option<String> = None;
+    let mut replay_from: Option<String> = None;
+    let mut fuzz = false;
+    let mut fuzz_oracles = false;
+    let mut fuzz_cfg = FuzzConfig::default();
+    let mut corpus_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut raw = |name: &str| {
@@ -40,11 +184,35 @@ fn main() {
             "--no-conservation" => oracles.conservation = false,
             "--no-shrink" => shrink = false,
             "--dump-dir" => dump_dir = Some(raw("--dump-dir")),
+            "--replay-dir" => replay_from = Some(raw("--replay-dir")),
+            "--fuzz" => fuzz = true,
+            "--budget" => fuzz_cfg.budget = value("--budget") as usize,
+            "--batch" => fuzz_cfg.batch = value("--batch") as usize,
+            "--root-seed" => fuzz_cfg.root_seed = value("--root-seed"),
+            "--oracles" => fuzz_oracles = true,
+            "--corpus" => corpus_path = Some(raw("--corpus")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
+    }
+
+    if fuzz {
+        if fuzz_cfg.budget == 0 {
+            eprintln!("--budget must be at least 1");
+            std::process::exit(2);
+        }
+        if fuzz_oracles {
+            fuzz_cfg.oracles = oracles.clone();
+        }
+        fuzz_cfg.shrink_failures = shrink;
+        std::process::exit(run_fuzz_mode(fuzz_cfg, corpus_path, dump_dir));
+    }
+
+    let mut replayed_violation = false;
+    if let Some(dir) = &replay_from {
+        replayed_violation = replay_dir(dir, &oracles);
     }
 
     if n == 0 {
@@ -78,31 +246,7 @@ fn main() {
             }
         );
     }
-    for o in report.failures() {
-        for v in &o.violations {
-            println!("seed {}: {v}", o.seed);
-        }
-        if let Some(r) = &o.reproducer {
-            println!(
-                "seed {}: minimal reproducer ({} h horizon, {} fault kinds): {}",
-                o.seed,
-                r.spec.duration_hours,
-                r.spec.fault_mix.len(),
-                r.dump
-            );
-            if let Some(dir) = &dump_dir {
-                if let Err(e) = std::fs::create_dir_all(dir) {
-                    eprintln!("cannot create {dir}: {e}");
-                } else {
-                    let path = format!("{dir}/repro-seed-{}.json", o.seed);
-                    match std::fs::write(&path, &r.dump) {
-                        Ok(()) => println!("seed {}: reproducer written to {path}", o.seed),
-                        Err(e) => eprintln!("cannot write {path}: {e}"),
-                    }
-                }
-            }
-        }
-    }
+    write_reproducers(&report.failures(), dump_dir.as_deref());
 
     let secs = elapsed.as_secs_f64();
     println!(
@@ -113,7 +257,7 @@ fn main() {
         report.outcomes.len() as f64 / secs.max(1e-9),
         report.total_tests_run()
     );
-    if !report.all_passed() {
+    if !report.all_passed() || replayed_violation {
         std::process::exit(1);
     }
 }

@@ -25,6 +25,22 @@ use ttt_testbed::gen::ClusterSpec;
 use ttt_testbed::hardware::Vendor;
 use ttt_testbed::{FaultKind, InjectorConfig};
 
+/// Hardware and time menus shared by the seed expansion ([`ScenarioSpec::
+/// from_seed`]) and the structural mutators ([`crate::mutate`]) — one
+/// source of truth, so extending the grammar never desynchronizes the
+/// mutants from the generator.
+pub(crate) const CORE_MENU: [u32; 6] = [4, 8, 12, 16, 20, 24];
+pub(crate) const VENDOR_MENU: [Vendor; 4] = [Vendor::Dell, Vendor::Hp, Vendor::Bull, Vendor::Ibm];
+pub(crate) const TICK_MENU: [u64; 5] = [10, 15, 20, 30, 60];
+pub(crate) const CADENCE_MENU: [u64; 3] = [1, 2, 4];
+
+/// Canonical name of the i-th generated site (clusters reference sites by
+/// name; the shrinker's single-site collapse and the mutators' site
+/// re-spread must agree with the generator on this scheme).
+pub(crate) fn site_name(i: usize) -> String {
+    format!("swarm-s{i}")
+}
+
 /// Scheduling-mode dimension.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModeDim {
@@ -113,16 +129,14 @@ impl ScenarioSpec {
         // site outages/partitions/skew from the fault mix) to the swarm.
         let n_sites = rng.gen_range(1..=4usize);
         let n_clusters = rng.gen_range(2..=6usize);
-        const CORES: [u32; 6] = [4, 8, 12, 16, 20, 24];
-        const VENDORS: [Vendor; 4] = [Vendor::Dell, Vendor::Hp, Vendor::Bull, Vendor::Ibm];
         let clusters: Vec<ClusterSpec> = (0..n_clusters)
             .map(|i| {
                 let mut spec = ClusterSpec::new(
                     &format!("swarm-c{i}"),
-                    &format!("swarm-s{}", rng.gen_range(0..n_sites)),
+                    &site_name(rng.gen_range(0..n_sites)),
                     rng.gen_range(2..=8u32),
-                    *CORES.choose(&mut rng).unwrap(),
-                    *VENDORS.choose(&mut rng).unwrap(),
+                    *CORE_MENU.choose(&mut rng).unwrap(),
+                    *VENDOR_MENU.choose(&mut rng).unwrap(),
                     rng.gen_bool(0.35),
                     rng.gen_bool(0.40),
                 );
@@ -135,8 +149,7 @@ impl ScenarioSpec {
 
         // Time dimensions.
         let duration_hours = rng.gen_range(36..=240u64);
-        const TICKS: [u64; 5] = [10, 15, 20, 30, 60];
-        let tick_mins = *TICKS.choose(&mut rng).unwrap();
+        let tick_mins = *TICK_MENU.choose(&mut rng).unwrap();
 
         // Fault mix: each catalogue entry joins with p=½; rates are high
         // relative to the paper (tiny testbed, short horizon) so scenarios
@@ -171,7 +184,6 @@ impl ScenarioSpec {
             _ => RolloutDim::NoTesting,
         };
 
-        const CADENCES: [u64; 3] = [1, 2, 4];
         ScenarioSpec {
             seed,
             clusters,
@@ -190,8 +202,8 @@ impl ScenarioSpec {
             per_node_hardware: rng.gen_bool(0.25),
             operator_capacity_per_week: rng.gen_range(1.0..12.0),
             operator_triage_hours: rng.gen_range(4..=72),
-            operator_cadence_hours: *CADENCES.choose(&mut rng).unwrap(),
-            sample_cadence_hours: *CADENCES.choose(&mut rng).unwrap(),
+            operator_cadence_hours: *CADENCE_MENU.choose(&mut rng).unwrap(),
+            sample_cadence_hours: *CADENCE_MENU.choose(&mut rng).unwrap(),
         }
     }
 

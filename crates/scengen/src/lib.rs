@@ -16,10 +16,17 @@
 //!   faults resolve back through `find_fault`; every mixed-in kind is
 //!   detectable by its owning family), and conservation (node, reservation
 //!   and metric accounting).
-//! * [`swarm`] — executes N seeds rayon-parallel and aggregates outcomes.
+//! * [`swarm`] — executes N seeds rayon-parallel and aggregates outcomes;
+//!   a panicking scenario is caught per seed, never costing the sweep.
 //! * [`shrink`] — failing scenarios are minimized (horizon bisection,
-//!   fault-mix pruning, noise zeroing) into a [`Reproducer`] whose JSON
-//!   dump replays as a one-line test.
+//!   fault-mix pruning, noise zeroing, looped to a fixpoint) into a
+//!   [`Reproducer`] whose version-tagged JSON dump replays as a one-line
+//!   test.
+//! * [`coverage`] / [`corpus`] / [`mutate`] — the coverage-guided layer:
+//!   campaigns are fingerprinted into behavioral signatures, signature-
+//!   novel specs are kept in a corpus, and structural mutators evolve the
+//!   corpus toward unreached behavior. [`swarm::run_fuzz`] drives the
+//!   loop deterministically from a root seed.
 //!
 //! ```
 //! use ttt_scengen::{run_swarm, seed_block, Oracles};
@@ -28,12 +35,21 @@
 //! assert!(report.all_passed());
 //! ```
 
+pub mod corpus;
+pub mod coverage;
 pub mod grammar;
+pub mod mutate;
 pub mod oracle;
 pub mod shrink;
 pub mod swarm;
 
+pub use corpus::{Corpus, CorpusEntry, CORPUS_VERSION};
+pub use coverage::CoverageSignature;
 pub use grammar::{ModeDim, RolloutDim, ScenarioSpec};
+pub use mutate::{mutate, sanitize, Mutator};
 pub use oracle::{CampaignDigest, OracleKind, Violation, KNOWN_COVERAGE_GAPS};
-pub use shrink::{replay, shrink, Reproducer};
-pub use swarm::{run_scenario, run_seed, run_swarm, seed_block, Oracles, ScenarioOutcome, SwarmReport};
+pub use shrink::{dump_spec, parse_dump, replay, shrink, ReplayError, Reproducer, DUMP_VERSION};
+pub use swarm::{
+    random_coverage, run_fuzz, run_scenario, run_seed, run_swarm, seed_block, FuzzConfig,
+    FuzzReport, Oracles, ScenarioOutcome, ScenarioRun, SwarmReport,
+};

@@ -37,6 +37,10 @@ pub enum OracleKind {
     Conservation,
     /// The self-test trip wire (`Oracles::tests_run_limit`) fired.
     TestsRunLimit,
+    /// The scenario's campaign panicked. Caught per seed so one poisoned
+    /// scenario cannot abort a whole swarm; shrinks like any other
+    /// violation (the probe asks "does the candidate still panic?").
+    Panicked,
 }
 
 impl fmt::Display for OracleKind {
@@ -46,6 +50,7 @@ impl fmt::Display for OracleKind {
             OracleKind::DetectionSoundness => "detection-soundness",
             OracleKind::Conservation => "conservation",
             OracleKind::TestsRunLimit => "tests-run-limit",
+            OracleKind::Panicked => "panicked",
         })
     }
 }
@@ -117,6 +122,24 @@ pub struct CampaignDigest {
     pub per_site_jobs: Vec<u64>,
     /// Jobs placed off their home domain (saturation spillover).
     pub spillovers: u64,
+    /// Spillovers *received* per site domain (where displaced work landed).
+    pub per_site_spillovers: Vec<u64>,
+    /// Cross-site co-allocations booked (`oargridsub`-style splits).
+    pub co_allocations: u64,
+    /// Faults ever injected, `(kind name, count)` — the injected half of
+    /// the coverage fingerprint.
+    pub injected_by_kind: Vec<(String, u64)>,
+    /// Diagnostics attributed per fault kind — the detected half.
+    pub detected_by_kind: Vec<(String, u64)>,
+    /// Testbed-saturation episodes (rising edges at the sampling cadence).
+    pub saturation_episodes: u64,
+    /// Site-blackout episodes (rising edges at the sampling cadence).
+    pub blackout_episodes: u64,
+    /// Winning `next_wake` term counts, `(label, count)`. Populated only by
+    /// the next-event engine (lockstep never computes wakes), so this field
+    /// is *excluded* from [`CampaignDigest::diff`] and plays no part in the
+    /// equivalence oracle — it exists for the coverage signature.
+    pub wake_reasons: Vec<(String, u64)>,
 }
 
 impl CampaignDigest {
@@ -171,10 +194,32 @@ impl CampaignDigest {
                 .map(|d| d.oar.jobs().len() as u64)
                 .collect(),
             spillovers: c.federation().spillovers(),
+            per_site_spillovers: c.federation().spillovers_by_domain().to_vec(),
+            co_allocations: c.federation().co_allocations(),
+            injected_by_kind: c
+                .testbed()
+                .injection_counts()
+                .into_iter()
+                .map(|(k, n)| (k.name().to_string(), n))
+                .collect(),
+            detected_by_kind: m
+                .detected_by_kind
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            saturation_episodes: m.saturation_episodes,
+            blackout_episodes: m.blackout_episodes,
+            wake_reasons: c
+                .wake_reasons()
+                .into_iter()
+                .map(|(r, n)| (r.to_string(), n))
+                .collect(),
         }
     }
 
-    /// Names of the fields on which two digests disagree.
+    /// Names of the fields on which two digests disagree — every
+    /// engine-equivalence observable. `wake_reasons` is deliberately
+    /// absent: it is populated only by the next-event engine.
     pub fn diff(&self, other: &CampaignDigest) -> Vec<&'static str> {
         macro_rules! diff_fields {
             ($($field:ident),+ $(,)?) => {{
@@ -204,6 +249,12 @@ impl CampaignDigest {
             grid_rows,
             per_site_jobs,
             spillovers,
+            per_site_spillovers,
+            co_allocations,
+            injected_by_kind,
+            detected_by_kind,
+            saturation_episodes,
+            blackout_episodes,
         )
     }
 }
@@ -215,17 +266,19 @@ pub fn run_campaign(spec: &ScenarioSpec, engine: Engine) -> Campaign {
     c
 }
 
-/// Oracle 1: the two engines must agree bit-for-bit on `spec`.
+/// Oracle 1: the two engines must agree bit-for-bit on `spec` — compared
+/// via [`CampaignDigest::diff`], which covers every observable except the
+/// engine-private wake-reason mix.
 pub fn check_engine_equivalence(spec: &ScenarioSpec, next_event: &CampaignDigest) -> Option<Violation> {
     let lockstep = CampaignDigest::capture(&run_campaign(spec, Engine::Lockstep));
-    if lockstep == *next_event {
+    let diverging = lockstep.diff(next_event);
+    if diverging.is_empty() {
         return None;
     }
     Some(Violation {
         oracle: OracleKind::EngineEquivalence,
         detail: format!(
-            "engines diverge on fields {:?} (seed {})",
-            lockstep.diff(next_event),
+            "engines diverge on fields {diverging:?} (seed {})",
             spec.seed
         ),
     })

@@ -34,6 +34,10 @@ pub struct Testbed {
     site_power: Vec<bool>,
     /// `clock_skew_s[site]` — seconds of NTP drift (0.0 = in sync).
     clock_skew_s: Vec<f64>,
+    /// `injected[k]` for `k` indexing [`FaultKind::ALL`] — every fault ever
+    /// successfully applied, repaired or not. The coverage-guided fuzzer's
+    /// behavioral signature reads this ledger (injected × detected kinds).
+    injected: [u64; FaultKind::ALL.len()],
 }
 
 impl Testbed {
@@ -52,6 +56,7 @@ impl Testbed {
         Testbed {
             site_power: vec![true; n_sites],
             clock_skew_s: vec![0.0; n_sites],
+            injected: [0; FaultKind::ALL.len()],
             sites,
             clusters,
             nodes,
@@ -178,6 +183,18 @@ impl Testbed {
         &self.active
     }
 
+    /// How many faults of each kind were ever applied (repairs do not
+    /// decrement), `(kind, count)` in [`FaultKind::ALL`] order, zero
+    /// entries skipped.
+    pub fn injection_counts(&self) -> Vec<(FaultKind, u64)> {
+        FaultKind::ALL
+            .iter()
+            .zip(self.injected)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&k, n)| (k, n))
+            .collect()
+    }
+
     /// The active fault with the given id, if any.
     pub fn fault(&self, id: FaultId) -> Option<&Fault> {
         self.active.iter().find(|f| f.id == id)
@@ -223,6 +240,7 @@ impl Testbed {
             injected_at: at,
         };
         self.next_fault_id += 1;
+        self.injected[kind as usize] += 1;
         self.active.push(fault.clone());
         Some(fault)
     }

@@ -77,10 +77,8 @@ fn injected_violation_shrinks_to_minimal_reproducer() {
     let oracles = Oracles {
         // The real oracles stay off so the probe budget goes to shrinking;
         // the trip wire plays the role of a genuine invariant violation.
-        equivalence: false,
-        detection: false,
-        conservation: false,
         tests_run_limit: Some(50),
+        ..Oracles::none()
     };
     let outcome = run_seed(4, &oracles, true);
     assert!(
@@ -106,12 +104,12 @@ fn injected_violation_shrinks_to_minimal_reproducer() {
     );
 
     // The dump replays as a one-line regression test and still violates.
-    let violations = replay(&repro.dump, &oracles);
+    let violations = replay(&repro.dump, &oracles).expect("dump is current-version");
     assert_eq!(violations, vec![repro.violation.clone()]);
 
-    // And the dump is the spec, exactly (JSON round-trip).
-    let reparsed: ScenarioSpec = serde_json::from_str(&repro.dump).unwrap();
-    assert_eq!(reparsed, repro.spec);
+    // And the dump parses back to the spec, exactly (version-tagged
+    // round-trip).
+    assert_eq!(throughout::scengen::parse_dump(&repro.dump).unwrap(), repro.spec);
 }
 
 /// Regression, found by the swarm itself (seed 117, NaiveCron mode): when
@@ -123,9 +121,9 @@ fn injected_violation_shrinks_to_minimal_reproducer() {
 /// seed pinned on the full oracle suite.
 #[test]
 fn swarm_regression_seed_117_engine_equivalence() {
-    let (violations, tests_run) = run_scenario(&ScenarioSpec::from_seed(117), &Oracles::default());
-    assert!(violations.is_empty(), "seed 117 regressed: {violations:?}");
-    assert!(tests_run > 0);
+    let run = run_scenario(&ScenarioSpec::from_seed(117), &Oracles::default());
+    assert!(run.violations.is_empty(), "seed 117 regressed: {:?}", run.violations);
+    assert!(run.tests_run() > 0);
 }
 
 /// The federation acceptance scenario: a topology spanning ≥ 3 sites with
@@ -153,9 +151,9 @@ fn multi_site_scenario_with_site_faults_passes_every_oracle() {
     assert!(spec.site_count() >= 3);
     assert!(spec.has_site_faults());
 
-    let (violations, tests_run) = run_scenario(&spec, &Oracles::default());
-    assert!(violations.is_empty(), "multi-site scenario failed: {violations:?}");
-    assert!(tests_run > 0, "scenario ran no tests");
+    let run = run_scenario(&spec, &Oracles::default());
+    assert!(run.violations.is_empty(), "multi-site scenario failed: {:?}", run.violations);
+    assert!(run.tests_run() > 0, "scenario ran no tests");
 
     // The dimension was genuinely exercised: the campaign's testing
     // pipeline filed at least one site-scoped bug.
@@ -195,19 +193,17 @@ fn swarm_regression_seed_9026_multi_site_naive_cron() {
     assert!(spec.site_count() >= 3, "seed 9026 lost its multi-site shape");
     assert!(matches!(spec.mode, ModeDim::NaiveCron { .. }));
     assert!(spec.has_site_faults());
-    let (violations, tests_run) = run_scenario(&spec, &Oracles::default());
-    assert!(violations.is_empty(), "seed 9026 regressed: {violations:?}");
-    assert!(tests_run > 0);
+    let run = run_scenario(&spec, &Oracles::default());
+    assert!(run.violations.is_empty(), "seed 9026 regressed: {:?}", run.violations);
+    assert!(run.tests_run() > 0);
 }
 
 /// A spec that violates nothing does not shrink into a reproducer.
 #[test]
 fn passing_spec_does_not_shrink() {
     let oracles = Oracles {
-        equivalence: false,
-        detection: false,
         conservation: true,
-        tests_run_limit: None,
+        ..Oracles::none()
     };
     let spec = ScenarioSpec::from_seed(3);
     assert!(shrink(&spec, &oracles).is_none());

@@ -6,8 +6,17 @@
 //! input order in the collected output. No work stealing — fine for the
 //! coarse-grained, similar-cost tasks the workspace fans out.
 
-/// Number of worker threads used for fan-out.
+/// Number of worker threads used for fan-out. Like the real crate's
+/// default pool, `RAYON_NUM_THREADS` overrides the core count (values
+/// that fail to parse, or 0, fall back to the detected parallelism).
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -39,6 +48,34 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 
     fn into_par_iter(self) -> ParIter<T> {
         ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion: `collection.par_iter()` over `&[T]` without
+/// cloning the items (mirrors the real crate's trait of the same name).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -117,7 +154,7 @@ impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
@@ -134,5 +171,12 @@ mod tests {
     fn empty_input() {
         let out: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows_in_order() {
+        let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
+        let out: Vec<usize> = items.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
     }
 }
