@@ -15,6 +15,7 @@
 use crate::config::{CampaignConfig, Engine, SchedulingMode, TestbedScale};
 use crate::matching::find_fault;
 use crate::metrics::CampaignMetrics;
+use crate::shard::ShardedRunQueue;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use std::collections::HashMap;
@@ -110,9 +111,16 @@ pub struct Campaign {
     /// Scratch buffer of due suite indices reused across trigger passes.
     naive_scratch: Vec<usize>,
     next_phase: usize,
-    /// In-flight tests keyed by `finish_at` — completions pop in time
-    /// order instead of a per-tick sweep over a Vec.
-    running: EventQueue<RunningTest>,
+    /// In-flight tests keyed by `finish_at`, sharded per site (a test
+    /// lives on the shard of the domain whose resources it holds).
+    /// Completions pop in global `(finish_at, submission order)` — the
+    /// k-way merge replays exactly the order the old single queue used,
+    /// for every engine.
+    running: ShardedRunQueue<RunningTest>,
+    /// Tests completed per site shard, merged deterministically at every
+    /// completion — the sharded engine's incremental per-shard digest
+    /// contribution (an engine-equivalence observable).
+    site_completions: Vec<u64>,
     blocked: Vec<BlockedWork>,
     rng_inject: SmallRng,
     rng_user: SmallRng,
@@ -168,7 +176,15 @@ impl Campaign {
             }
         }
 
-        let fed = Federation::new(&tb, refapi.latest().expect("published"));
+        let mut fed = Federation::new(&tb, refapi.latest().expect("published"));
+        let mut sched = ExternalScheduler::new(cfg.policy.clone(), Vec::new());
+        if cfg.engine == Engine::ParallelSite {
+            // The sharded engine's fan-outs: per-domain advance/sync and
+            // availability/placement probe batches run on the worker pool.
+            // Both flags are value-preserving — see the equivalence suite.
+            fed.set_parallel(true);
+            sched.set_parallel(true);
+        }
         let mut ci = CiServer::new(cfg.executors);
         let images = standard_images();
         let suite = build_suite(&tb, &images);
@@ -194,8 +210,9 @@ impl Campaign {
         let clusters = tb.clusters().iter().map(|c| c.name.clone()).collect();
         let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(5));
         let n = suite.len();
+        let sites = fed.len();
         Campaign {
-            sched: ExternalScheduler::new(cfg.policy.clone(), Vec::new()),
+            sched,
             userload: UserLoadGenerator::new(cfg.user_load.clone(), clusters),
             injector: FaultInjector::new(cfg.injector.clone()),
             operators: OperatorModel::new(cfg.operator_capacity_per_week, cfg.operator_triage),
@@ -222,7 +239,8 @@ impl Campaign {
             naive_queue: EventQueue::new(),
             naive_scratch: Vec::new(),
             next_phase: 0,
-            running: EventQueue::new(),
+            running: ShardedRunQueue::new(sites),
+            site_completions: vec![0; sites],
             blocked: Vec::new(),
             now: SimTime::ZERO,
             last_snapshot: SimTime::ZERO,
@@ -264,6 +282,13 @@ impl Campaign {
     /// The CI server (executor accounting, build histories).
     pub fn ci(&self) -> &CiServer {
         &self.ci
+    }
+
+    /// Tests completed per site shard, in domain order — the sharded
+    /// engine's per-shard digest contribution, populated identically by
+    /// every engine (an engine-equivalence observable).
+    pub fn site_completions(&self) -> &[u64] {
+        &self.site_completions
     }
 
     /// Current virtual time.
@@ -316,7 +341,10 @@ impl Campaign {
                     self.step_to(t);
                 }
             }
-            Engine::NextEvent => {
+            // ParallelSite drives the identical next-event loop; the
+            // sharding shows up inside the step's fan-outs, never in
+            // which instants are processed.
+            Engine::NextEvent | Engine::ParallelSite => {
                 // The grid is anchored where this call starts, exactly like
                 // the lockstep `now + k*tick` sequence.
                 let anchor = self.now;
@@ -745,7 +773,11 @@ impl Campaign {
         };
         let walltime = self.suite[idx].family.walltime();
         let finish_at = t + report.duration.min(walltime);
+        // The test lives on the shard of the site whose resources it
+        // holds (primary part for cross-site co-allocations).
+        let shard = oar_job.primary_domain();
         self.running.push(
+            shard,
             finish_at,
             RunningTest {
                 build,
@@ -759,7 +791,8 @@ impl Campaign {
     /// Complete every test whose `finish_at` elapsed, earliest first (FIFO
     /// among ties) — popped straight off the completion queue.
     fn complete_due(&mut self, t: SimTime) {
-        while let Some((_, r)) = self.running.pop_due(t) {
+        while let Some((_, shard, r)) = self.running.pop_due(t) {
+            self.site_completions[shard] += 1;
             self.fed.complete_early(&r.oar_job);
             let result = if r.report.passed() {
                 BuildResult::Success

@@ -24,6 +24,7 @@ pub mod config;
 pub mod matching;
 pub mod metrics;
 pub mod scenario;
+pub mod shard;
 
 pub use campaign::Campaign;
 pub use config::{CampaignConfig, Engine, Rollout, SchedulingMode, TestbedScale};

@@ -82,6 +82,20 @@ pub fn multi_site_scenario(seed: u64) -> CampaignConfig {
     cfg
 }
 
+/// The grid-of-grids scale-out scenario: a generated federation of
+/// `sites` sites (two eight-node clusters per site, collision-free names
+/// from [`ttt_testbed::gen::grid_specs`]) under the scheduling-scenario
+/// service mix. This is the sharded engine's scale axis: hundreds of
+/// sites, one run-queue shard and one OAR scheduling domain each, with
+/// the user load and executor pool widened so every site sees traffic.
+pub fn grid_of_grids_scenario(seed: u64, sites: u32) -> CampaignConfig {
+    let mut cfg = scheduling_scenario(seed, SchedulingMode::External);
+    cfg.scale = TestbedScale::Custom(ttt_testbed::gen::grid_specs(sites, 2, 8));
+    cfg.executors = (sites as usize * 2).clamp(16, 128);
+    cfg.user_load.peak_jobs_per_day = (sites as f64 * 30.0).max(150.0);
+    cfg
+}
+
 /// The no-testing baseline: same world as [`paper_scenario`] but no test
 /// family ever activates, so faults accumulate silently — the situation
 /// slides 10–13 motivate the framework with.
@@ -109,5 +123,18 @@ mod tests {
         let n = no_testing_scenario(1);
         assert!(n.rollout.phases.is_empty());
         assert_eq!(n.initial_fault_burden, p.initial_fault_burden);
+    }
+
+    #[test]
+    fn grid_of_grids_spans_the_requested_sites() {
+        let g = grid_of_grids_scenario(1, 64);
+        let TestbedScale::Custom(specs) = &g.scale else {
+            panic!("grid scenario must carry a generated topology");
+        };
+        assert_eq!(specs.len(), 128);
+        let sites: std::collections::BTreeSet<&str> =
+            specs.iter().map(|c| c.site.as_str()).collect();
+        assert_eq!(sites.len(), 64);
+        assert_eq!(g.executors, 128);
     }
 }

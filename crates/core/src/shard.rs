@@ -1,0 +1,167 @@
+//! Per-site sharding of the campaign's in-flight test state.
+//!
+//! The sharded engine splits the single global running-test queue into one
+//! queue per scheduling domain (site). Each in-flight test lives on the
+//! shard of the site whose resources it holds (the primary domain for
+//! cross-site co-allocations), so a shard owns everything needed to ask
+//! "what finishes next *here*" without touching its neighbours.
+//!
+//! Completion order is the engine-equivalence-critical part: the old
+//! global [`EventQueue`] popped by `(finish_at, insertion order)` — FIFO
+//! among ties. To keep that exact order across a split, every push is
+//! stamped with a **globally** monotone sequence number carried in the
+//! payload, and the k-way merge pops the shard whose head has the least
+//! `(time, seq)`. Within one shard the internal queue's own FIFO tie-break
+//! equals global-seq order (stamps are assigned in push order), so the
+//! merged stream is provably the same sequence the global queue produced.
+
+use ttt_sim::{EventQueue, SimTime};
+
+/// A time-ordered queue sharded by site, popping in exactly the order a
+/// single global [`EventQueue`] would: earliest time first, FIFO among
+/// ties (by global insertion order, not per-shard order).
+pub struct ShardedRunQueue<T> {
+    shards: Vec<EventQueue<(u64, T)>>,
+    /// Next global insertion stamp (monotone across all shards).
+    next_seq: u64,
+    len: usize,
+}
+
+impl<T> ShardedRunQueue<T> {
+    /// An empty queue with one shard per scheduling domain.
+    pub fn new(shards: usize) -> Self {
+        ShardedRunQueue {
+            shards: (0..shards.max(1)).map(|_| EventQueue::new()).collect(),
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total items across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items currently queued on one shard.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Queue `item` on `shard`, due at `at`.
+    pub fn push(&mut self, shard: usize, at: SimTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[shard].push(at, (seq, item));
+        self.len += 1;
+    }
+
+    /// The shard whose head pops next: least `(time, global seq)` over all
+    /// non-empty shards.
+    fn next_shard(&self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, q) in self.shards.iter().enumerate() {
+            if let Some((t, (seq, _))) = q.peek() {
+                let key = (t, *seq, i);
+                if best.is_none() || best.is_some_and(|b| (key.0, key.1) < (b.0, b.1)) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Earliest due instant across every shard.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|q| q.peek_time()).min()
+    }
+
+    /// Pop the globally earliest item if it is due at or before `now`,
+    /// returning `(due time, owning shard, item)`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, usize, T)> {
+        let shard = self.next_shard()?;
+        let (t, (_, item)) = self.shards[shard].pop_due(now)?;
+        self.len -= 1;
+        Some((t, shard, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttt_sim::SimDuration;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    /// The split queue must pop in exactly the order the global queue did.
+    #[test]
+    fn merge_order_matches_a_single_global_queue() {
+        let mut global: EventQueue<u32> = EventQueue::new();
+        let mut sharded: ShardedRunQueue<u32> = ShardedRunQueue::new(3);
+        // Interleaved pushes across shards, with plenty of time ties.
+        let pushes: &[(usize, u64, u32)] = &[
+            (0, 10, 100),
+            (1, 10, 101),
+            (2, 5, 102),
+            (1, 10, 103),
+            (0, 5, 104),
+            (2, 20, 105),
+            (1, 5, 106),
+            (0, 20, 107),
+            (2, 10, 108),
+        ];
+        for &(shard, mins, v) in pushes {
+            global.push(t(mins), v);
+            sharded.push(shard, t(mins), v);
+        }
+        assert_eq!(sharded.len(), pushes.len());
+        let mut merged = Vec::new();
+        while let Some((at, shard, v)) = sharded.pop_due(t(60)) {
+            assert!(shard < 3);
+            merged.push((at, v));
+        }
+        let mut want = Vec::new();
+        while let Some((at, v)) = global.pop_due(t(60)) {
+            want.push((at, v));
+        }
+        assert_eq!(merged, want, "k-way merge must replay global FIFO order");
+        assert!(sharded.is_empty());
+    }
+
+    #[test]
+    fn pop_due_respects_the_deadline() {
+        let mut q: ShardedRunQueue<&str> = ShardedRunQueue::new(2);
+        q.push(0, t(30), "late");
+        q.push(1, t(10), "early");
+        assert_eq!(q.peek_time(), Some(t(10)));
+        let (at, shard, v) = q.pop_due(t(15)).expect("early is due");
+        assert_eq!((at, shard, v), (t(10), 1, "early"));
+        assert!(q.pop_due(t(15)).is_none(), "late is not due yet");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.shard_len(0), 1);
+    }
+
+    #[test]
+    fn ties_pop_in_global_push_order_across_shards() {
+        let mut q: ShardedRunQueue<u32> = ShardedRunQueue::new(4);
+        for (i, shard) in [3usize, 1, 2, 0, 2, 3].iter().enumerate() {
+            q.push(*shard, t(7), i as u32);
+        }
+        let mut order = Vec::new();
+        while let Some((_, _, v)) = q.pop_due(t(7)) {
+            order.push(v);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

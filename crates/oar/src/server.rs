@@ -14,9 +14,8 @@ use crate::ast::{Count, Expr, Level, RequestGroup, ResourceRequest};
 use crate::eval::eval;
 use crate::gantt::{EndIndex, NodeTimeline};
 use crate::job::{Job, JobId, JobKind, JobState, Queue};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 use ttt_refapi::{all_properties, PropertyMap, TestbedDescription};
 use ttt_sim::{EventQueue, SimDuration, SimTime};
 use ttt_testbed::{ClusterId, NodeId, Testbed};
@@ -66,8 +65,12 @@ enum OarEvent {
 ///
 /// The database is loaded once and never mutated afterwards (the
 /// *description* drifts, the DB does not — that inconsistency is the
-/// paper's subject), so a federation shares one `Rc<ResourceDb>` across
+/// paper's subject), so a federation shares one `Arc<ResourceDb>` across
 /// every site's server instead of cloning 894 property maps per domain.
+/// `Arc` (not `Rc`) because the parallel-site engine advances domains on
+/// pool workers; the match cache sits behind an `RwLock`, which keeps the
+/// type `Sync` — concurrent fills compute the same value for the same
+/// filter, so a racing double-insert is harmless and value-deterministic.
 /// Liveness and reservations are per-server state, filtered per query.
 pub struct ResourceDb {
     /// Host-name-keyed properties from the Reference API.
@@ -88,7 +91,7 @@ pub struct ResourceDb {
     /// Cached match-sets: filter → nodes whose properties satisfy it.
     /// Property-only (state filtered per query), hence valid across every
     /// domain sharing the database.
-    match_cache: RefCell<HashMap<Expr, Rc<Vec<NodeId>>>>,
+    match_cache: RwLock<HashMap<Expr, Arc<Vec<NodeId>>>>,
 }
 
 impl ResourceDb {
@@ -114,7 +117,7 @@ impl ResourceDb {
                 .collect(),
             nodes_of_cluster: tb.clusters().iter().map(|c| c.nodes.clone()).collect(),
             all_nodes: (0..tb.nodes().len()).map(NodeId::from).collect(),
-            match_cache: RefCell::new(HashMap::new()),
+            match_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -126,11 +129,11 @@ impl ResourceDb {
     /// The nodes whose (immutable) properties satisfy `filter`, cached
     /// per distinct filter: the first query pays one scan + eval pass,
     /// every later query is a hash lookup. Node order is preserved.
-    fn matching_nodes(&self, filter: &Expr) -> Rc<Vec<NodeId>> {
-        if let Some(hit) = self.match_cache.borrow().get(filter) {
-            return Rc::clone(hit);
+    fn matching_nodes(&self, filter: &Expr) -> Arc<Vec<NodeId>> {
+        if let Some(hit) = self.match_cache.read().expect("match cache").get(filter) {
+            return Arc::clone(hit);
         }
-        let set: Rc<Vec<NodeId>> = Rc::new(
+        let set: Arc<Vec<NodeId>> = Arc::new(
             self.scan_range(filter)
                 .iter()
                 .copied()
@@ -138,8 +141,9 @@ impl ResourceDb {
                 .collect(),
         );
         self.match_cache
-            .borrow_mut()
-            .insert(filter.clone(), Rc::clone(&set));
+            .write()
+            .expect("match cache")
+            .insert(filter.clone(), Arc::clone(&set));
         set
     }
 
@@ -159,7 +163,7 @@ impl ResourceDb {
 /// The OAR server.
 pub struct OarServer {
     /// The shared immutable resource database.
-    db: Rc<ResourceDb>,
+    db: Arc<ResourceDb>,
     node_states: Vec<NodeState>,
     timelines: Vec<NodeTimeline>,
     /// Per-cluster cache of upcoming reservation ends — the planner's
@@ -188,12 +192,12 @@ impl OarServer {
     /// Build a server for a testbed, loading properties from the Reference
     /// API description (slide 7: "OAR database filled from Reference API").
     pub fn new(tb: &Testbed, desc: &TestbedDescription) -> Self {
-        Self::with_db(Rc::new(ResourceDb::load(tb, desc)))
+        Self::with_db(Arc::new(ResourceDb::load(tb, desc)))
     }
 
     /// Build a server over an already-loaded (possibly shared) resource
     /// database — what a federation does once per site.
-    pub fn with_db(db: Rc<ResourceDb>) -> Self {
+    pub fn with_db(db: Arc<ResourceDb>) -> Self {
         let n = db.node_count();
         OarServer {
             ends: EndIndex::new(db.cluster_names.len()),

@@ -60,7 +60,7 @@ pub struct CoverageSignature {
     pub mode: u8,
     /// Rollout pattern: 0 all-at-start, 1 staged, 2 no-testing.
     pub rollout: u8,
-    /// Distinct sites the topology spans (1–4).
+    /// Distinct sites the topology spans (1–4, or 8 at large scale).
     pub sites: u8,
     /// A site-scoped fault kind (outage, partition, skew) was injected.
     pub site_faults_injected: bool,
@@ -134,7 +134,7 @@ pub struct StructuralCell {
     pub mode: u8,
     /// 0 all-at-start, 1 staged, 2 no-testing.
     pub rollout: u8,
-    /// Sites the topology must span (1–4).
+    /// Sites the topology must span (1–4, or 8 for the large-scale cells).
     pub sites: u8,
     /// Whether site-scoped fault kinds should be injected.
     pub site_faults: bool,
@@ -146,9 +146,12 @@ pub struct StructuralCell {
 impl StructuralCell {
     /// Every meaningful cell, in a stable order. Calm cells with site
     /// faults are contradictory (calm means *no* fault arrivals) and are
-    /// skipped: 2 modes × 3 rollouts × 4 site counts × 3 regimes = 72.
+    /// skipped: 2 modes × 3 rollouts × 4 site counts × 3 regimes = 72,
+    /// plus a large-scale block (sites = 8, same mode/rollout/regime
+    /// cross) appended at the end so the sharded engine gets federated
+    /// coverage without reordering the original frontier: 72 + 18 = 90.
     pub fn all() -> Vec<StructuralCell> {
-        let mut out = Vec::with_capacity(72);
+        let mut out = Vec::with_capacity(90);
         for mode in 0..2u8 {
             for rollout in 0..3u8 {
                 for sites in 1..=4u8 {
@@ -161,6 +164,22 @@ impl StructuralCell {
                             calm,
                         });
                     }
+                }
+            }
+        }
+        // Large-scale cells last: the fuzzer walks this list as its
+        // frontier, so appending keeps every pre-existing seed's walk
+        // byte-identical while still making 8-site worlds reachable.
+        for mode in 0..2u8 {
+            for rollout in 0..3u8 {
+                for (site_faults, calm) in [(false, false), (true, false), (false, true)] {
+                    out.push(StructuralCell {
+                        mode,
+                        rollout,
+                        sites: 8,
+                        site_faults,
+                        calm,
+                    });
                 }
             }
         }
@@ -208,12 +227,16 @@ mod tests {
     #[test]
     fn cells_enumerate_the_lattice_once() {
         let cells = StructuralCell::all();
-        assert_eq!(cells.len(), 72);
+        assert_eq!(cells.len(), 90);
         let mut dedup = cells.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), cells.len(), "duplicate cells");
         assert!(cells.iter().all(|c| !(c.calm && c.site_faults)));
+        // The original 72-cell prefix must stay in place: the fuzzer's
+        // frontier order is part of every pinned seed's replay.
+        assert!(cells[..72].iter().all(|c| c.sites <= 4));
+        assert!(cells[72..].iter().all(|c| c.sites == 8));
     }
 
     #[test]

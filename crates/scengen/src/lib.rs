@@ -44,9 +44,9 @@ pub mod shrink;
 pub mod swarm;
 
 pub use corpus::{Corpus, CorpusEntry, CORPUS_VERSION};
-pub use coverage::CoverageSignature;
+pub use coverage::{CoverageSignature, StructuralCell};
 pub use grammar::{ModeDim, RolloutDim, ScenarioSpec};
-pub use mutate::{mutate, sanitize, Mutator};
+pub use mutate::{mutate, pin_to_cell, sanitize, Mutator};
 pub use oracle::{CampaignDigest, OracleKind, Violation, KNOWN_COVERAGE_GAPS};
 pub use shrink::{dump_spec, parse_dump, replay, shrink, ReplayError, Reproducer, DUMP_VERSION};
 pub use swarm::{

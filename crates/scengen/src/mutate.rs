@@ -244,7 +244,9 @@ fn random_cluster<R: Rng>(existing: &[ClusterSpec], site: usize, rng: &mut R) ->
 
 /// Pin `spec` onto a structural cell: the frontier move of the fuzzer.
 ///
-/// Mode, rollout and site count are exact spec surgery. The fault regime
+/// Mode, rollout and site count (1–8; the large-scale cells ask for 8 and
+/// the cluster roster is grown to match) are exact spec surgery. The fault
+/// regime
 /// is made *reliable*, not just plausible: a site-faults cell carries all
 /// three site-scoped kinds at 2/day over ≥ 48 h (the chance none arrives
 /// is ~e⁻¹²), a no-site-faults cell strips them from the mix, and a calm
@@ -270,7 +272,7 @@ pub fn pin_to_cell<R: Rng>(spec: &mut ScenarioSpec, cell: StructuralCell, rng: &
         },
         _ => RolloutDim::NoTesting,
     };
-    let sites = cell.sites.clamp(1, 4) as usize;
+    let sites = cell.sites.clamp(1, 8) as usize;
     while spec.clusters.len() < sites {
         let c = random_cluster(&spec.clusters, 0, rng);
         spec.clusters.push(c);
@@ -317,7 +319,7 @@ pub fn sanitize(spec: &mut ScenarioSpec) {
             true,
         ));
     }
-    spec.clusters.truncate(6);
+    spec.clusters.truncate(8);
     for c in &mut spec.clusters {
         c.nodes = c.nodes.clamp(1, 8);
     }
@@ -405,7 +407,7 @@ mod tests {
             );
             assert!((1..=8).contains(&spec.executors), "step {step}");
             assert!(spec.peak_jobs_per_day <= MAX_PEAK_JOBS, "step {step}");
-            assert!(spec.site_count() <= 4, "step {step}");
+            assert!(spec.site_count() <= 8, "step {step}");
         }
     }
 
@@ -438,6 +440,23 @@ mod tests {
                 spec != parent
             });
             assert!(changed, "{m:?} never changes the spec");
+        }
+    }
+
+    #[test]
+    fn large_scale_cells_pin_to_eight_sites() {
+        let mut rng = stream_rng(13, "mutate-grid");
+        let cells: Vec<StructuralCell> = StructuralCell::all()
+            .into_iter()
+            .filter(|c| c.sites == 8)
+            .collect();
+        assert_eq!(cells.len(), 18, "large-scale block is mode × rollout × regime");
+        for cell in cells {
+            let mut spec = ScenarioSpec::from_seed(21);
+            pin_to_cell(&mut spec, cell, &mut rng);
+            assert_eq!(spec.site_count(), 8, "{cell:?}");
+            assert!(spec.clusters.len() >= 8, "{cell:?}");
+            assert!(spec.node_count() <= MAX_NODES, "{cell:?}: {} nodes", spec.node_count());
         }
     }
 

@@ -120,6 +120,10 @@ pub struct CampaignDigest {
     /// observable, so a placement divergence between engines is caught
     /// even when the totals happen to agree.
     pub per_site_jobs: Vec<u64>,
+    /// Tests completed per site shard (the sharded engine's incremental
+    /// per-shard digest, merged deterministically — populated identically
+    /// by every engine).
+    pub per_site_completions: Vec<u64>,
     /// Jobs placed off their home domain (saturation spillover).
     pub spillovers: u64,
     /// Spillovers *received* per site domain (where displaced work landed).
@@ -193,6 +197,7 @@ impl CampaignDigest {
                 .iter()
                 .map(|d| d.oar.jobs().len() as u64)
                 .collect(),
+            per_site_completions: c.site_completions().to_vec(),
             spillovers: c.federation().spillovers(),
             per_site_spillovers: c.federation().spillovers_by_domain().to_vec(),
             co_allocations: c.federation().co_allocations(),
@@ -248,6 +253,7 @@ impl CampaignDigest {
             active_faults,
             grid_rows,
             per_site_jobs,
+            per_site_completions,
             spillovers,
             per_site_spillovers,
             co_allocations,
@@ -266,22 +272,25 @@ pub fn run_campaign(spec: &ScenarioSpec, engine: Engine) -> Campaign {
     c
 }
 
-/// Oracle 1: the two engines must agree bit-for-bit on `spec` — compared
+/// Oracle 1: all three engines must agree bit-for-bit on `spec` — compared
 /// via [`CampaignDigest::diff`], which covers every observable except the
-/// engine-private wake-reason mix.
+/// engine-private wake-reason mix. The caller supplies the next-event
+/// digest; this runs Lockstep and ParallelSite and diffs both against it.
 pub fn check_engine_equivalence(spec: &ScenarioSpec, next_event: &CampaignDigest) -> Option<Violation> {
-    let lockstep = CampaignDigest::capture(&run_campaign(spec, Engine::Lockstep));
-    let diverging = lockstep.diff(next_event);
-    if diverging.is_empty() {
-        return None;
+    for engine in [Engine::Lockstep, Engine::ParallelSite] {
+        let other = CampaignDigest::capture(&run_campaign(spec, engine));
+        let diverging = other.diff(next_event);
+        if !diverging.is_empty() {
+            return Some(Violation {
+                oracle: OracleKind::EngineEquivalence,
+                detail: format!(
+                    "{engine:?} diverges from NextEvent on fields {diverging:?} (seed {})",
+                    spec.seed
+                ),
+            });
+        }
     }
-    Some(Violation {
-        oracle: OracleKind::EngineEquivalence,
-        detail: format!(
-            "engines diverge on fields {diverging:?} (seed {})",
-            spec.seed
-        ),
-    })
+    None
 }
 
 /// The canonical diagnostic-signature prefix a fault kind surfaces as.

@@ -132,6 +132,20 @@ impl TestbedBuilder {
         }
     }
 
+    /// A grid-of-grids testbed: `sites` sites of `clusters_per_site`
+    /// clusters of `nodes_per_cluster` nodes each, pushing past the
+    /// paper's 8 sites toward the hundreds-of-sites regime the sharded
+    /// engine targets. Names are collision-free by construction — site
+    /// `g{s}`, cluster `g{s}c{c}`, node `g{s}c{c}-{n}` — and the hardware
+    /// mix cycles through the paper's heterogeneity axes (vendor, core
+    /// count, Infiniband, introspectable disks, one GPU cluster per site)
+    /// so every test family finds targets at any scale.
+    pub fn grid_of_grids(sites: u32, clusters_per_site: u32, nodes_per_cluster: u32) -> Self {
+        TestbedBuilder {
+            specs: grid_specs(sites, clusters_per_site, nodes_per_cluster),
+        }
+    }
+
     /// A small testbed (2 sites, 4 clusters, 14 nodes) for fast tests.
     pub fn small() -> Self {
         use Vendor::*;
@@ -151,7 +165,31 @@ impl TestbedBuilder {
     }
 
     /// Generate the testbed.
+    ///
+    /// Panics when the specification overflows an id width: the arenas
+    /// index by dense copy ids (`u16` clusters/sites/switches/PDUs, `u32`
+    /// nodes), and a hundreds-of-sites generator must fail loudly here
+    /// instead of wrapping two entities onto one aliased id.
     pub fn build(self) -> Testbed {
+        assert!(
+            self.specs.len() <= u16::MAX as usize,
+            "{} clusters overflow the u16 cluster/switch/pdu id space",
+            self.specs.len()
+        );
+        let total_nodes: u64 = self.specs.iter().map(|s| s.nodes as u64).sum();
+        assert!(
+            total_nodes <= u32::MAX as u64,
+            "{total_nodes} nodes overflow the u32 node id space"
+        );
+        for spec in &self.specs {
+            // Switch ports are u16 and reserve 8 uplink ports.
+            assert!(
+                spec.nodes <= (u16::MAX - 8) as u32,
+                "cluster {} has {} nodes, more than one switch can port",
+                spec.name,
+                spec.nodes
+            );
+        }
         let mut sites: Vec<Site> = Vec::new();
         let mut clusters: Vec<Cluster> = Vec::new();
         let mut nodes: Vec<Node> = Vec::new();
@@ -229,6 +267,38 @@ impl TestbedBuilder {
         topology.mesh_sites(sites.len());
         Testbed::from_parts(sites, clusters, nodes, topology)
     }
+}
+
+/// The cluster specifications behind [`TestbedBuilder::grid_of_grids`],
+/// exposed so scenario presets can wrap them in a `TestbedScale::Custom`.
+/// Deterministic in its arguments; no two clusters (and hence no two
+/// nodes) anywhere in the grid share a name.
+pub fn grid_specs(sites: u32, clusters_per_site: u32, nodes_per_cluster: u32) -> Vec<ClusterSpec> {
+    const VENDORS: [Vendor; 4] = [Vendor::Dell, Vendor::Hp, Vendor::Bull, Vendor::Ibm];
+    const CORES: [u32; 4] = [8, 16, 12, 20];
+    let mut specs = Vec::with_capacity((sites as usize) * (clusters_per_site as usize));
+    for s in 0..sites {
+        let site = format!("g{s}");
+        for c in 0..clusters_per_site {
+            // Cycle the heterogeneity axes with per-site phase shifts so
+            // neighbouring sites differ, like the real federation does.
+            let k = (s + c) as usize;
+            let mut spec = ClusterSpec::new(
+                &format!("g{s}c{c}"),
+                &site,
+                nodes_per_cluster,
+                CORES[k % CORES.len()],
+                VENDORS[k % VENDORS.len()],
+                k % 4 == 1,
+                k.is_multiple_of(3),
+            );
+            if c == clusters_per_site - 1 && s.is_multiple_of(4) {
+                spec = spec.with_gpu();
+            }
+            specs.push(spec);
+        }
+    }
+    specs
 }
 
 /// The CPU generation for a given per-node core count (2017-era parts).
@@ -479,6 +549,59 @@ mod tests {
         assert_eq!(tb.sites().len(), 2);
         assert_eq!(tb.clusters().len(), 4);
         assert_eq!(tb.nodes().len(), 14);
+    }
+
+    #[test]
+    fn grid_of_grids_at_128_sites_validates() {
+        // 128 sites × 4 clusters × 98 nodes = 50176 nodes: past the u16
+        // temptation everywhere, and every structural invariant (unique
+        // names, full site mesh, wattmeter bijection) must still hold.
+        let tb = TestbedBuilder::grid_of_grids(128, 4, 98).build();
+        assert_eq!(tb.sites().len(), 128);
+        assert_eq!(tb.clusters().len(), 512);
+        assert_eq!(tb.nodes().len(), 50176);
+        crate::validate(&tb).expect("grid-of-grids must validate");
+    }
+
+    #[test]
+    fn grid_names_never_collide() {
+        // The naming scheme is collision-free by construction; keep it
+        // honest at an awkward shape (site/cluster counts whose digit
+        // concatenations could alias, e.g. g1c11 vs g11c1).
+        let specs = grid_specs(12, 12, 1);
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate cluster name");
+        let tb = TestbedBuilder::from_specs(specs).build();
+        crate::validate(&tb).expect("awkward grid must validate");
+    }
+
+    #[test]
+    fn grid_covers_every_family_axis() {
+        let tb = TestbedBuilder::grid_of_grids(16, 4, 2).build();
+        assert!(tb.clusters().iter().any(|c| c.has_ib), "no IB targets");
+        assert!(tb.clusters().iter().any(|c| c.disk_checkable), "no disk targets");
+        assert!(
+            tb.clusters().iter().any(|c| c.reference.gpu.is_some()),
+            "no GPU targets"
+        );
+        assert!(
+            tb.clusters().iter().any(|c| c.vendor == Vendor::Dell),
+            "no dellbios targets"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow the u16 cluster")]
+    fn cluster_id_width_is_guarded() {
+        let specs = grid_specs(66000, 1, 1);
+        TestbedBuilder::from_specs(specs).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one switch can port")]
+    fn switch_port_width_is_guarded() {
+        let specs = grid_specs(1, 1, 70000);
+        TestbedBuilder::from_specs(specs).build();
     }
 
     #[test]

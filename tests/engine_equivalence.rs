@@ -1,17 +1,22 @@
-//! Tick-vs-event equivalence: the next-event engine must produce
-//! bit-identical campaigns to the legacy lockstep engine — same seeds, same
-//! metrics, same tracker counts, same scheduler decisions — because it
-//! processes exactly the grid instants where something is due and skips
-//! only provably-inert ticks.
+//! Engine equivalence: the next-event engine and the site-sharded
+//! parallel engine must produce bit-identical campaigns to the legacy
+//! lockstep engine — same seeds, same metrics, same tracker counts, same
+//! scheduler decisions. NextEvent earns this by processing exactly the
+//! grid instants where something is due; ParallelSite earns it by fanning
+//! out only value-deterministic per-site work (OAR domain advance,
+//! dirty-node reconciliation, availability and placement probes) between
+//! the grid-instant barriers and applying every RNG-ordered effect in the
+//! canonical sequential order at each barrier.
 //!
 //! The observable state is captured by `scengen`'s [`CampaignDigest`]
 //! (floats taken bitwise, so "identical" means identical); the scenario
 //! swarm (`tests/scenario_swarm.rs`) extends the same check from these
 //! hand-written scenarios to the whole generated grammar.
 
-use throughout::core::{Campaign, CampaignConfig, Engine, SchedulingMode};
+use throughout::core::{Campaign, CampaignConfig, Engine, Rollout, SchedulingMode};
 use throughout::scengen::CampaignDigest;
-use throughout::sim::SimDuration;
+use throughout::sim::{SimDuration, SimTime};
+use throughout::suite::Family;
 
 fn run(mut cfg: CampaignConfig, engine: Engine) -> CampaignDigest {
     cfg.engine = engine;
@@ -21,19 +26,29 @@ fn run(mut cfg: CampaignConfig, engine: Engine) -> CampaignDigest {
 }
 
 /// Equivalence is judged by [`CampaignDigest::diff`]: every observable
-/// except the wake-reason mix, which only the next-event engine produces.
-fn assert_equivalent(lockstep: &CampaignDigest, event: &CampaignDigest, label: &str) {
-    let diverging = lockstep.diff(event);
+/// except the wake-reason mix, which only the event-driven engines
+/// produce.
+fn assert_equivalent(reference: &CampaignDigest, other: &CampaignDigest, label: &str) {
+    let diverging = other.diff(reference);
     assert!(diverging.is_empty(), "{label} diverged on {diverging:?}");
+}
+
+/// Run all three engines on `cfg` and require bit-identity, with the
+/// next-event digest as the reference. Returns that reference for extra
+/// scenario-specific assertions.
+fn assert_three_way(cfg: CampaignConfig, label: &str) -> CampaignDigest {
+    let event = run(cfg.clone(), Engine::NextEvent);
+    let lockstep = run(cfg.clone(), Engine::Lockstep);
+    assert_equivalent(&event, &lockstep, &format!("{label}: Lockstep"));
+    let parallel = run(cfg, Engine::ParallelSite);
+    assert_equivalent(&event, &parallel, &format!("{label}: ParallelSite"));
+    event
 }
 
 #[test]
 fn small_campaign_identical_across_engines_and_seeds() {
     for seed in [7, 42, 1234] {
-        let cfg = CampaignConfig::small(seed);
-        let lockstep = run(cfg.clone(), Engine::Lockstep);
-        let event = run(cfg, Engine::NextEvent);
-        assert_equivalent(&lockstep, &event, &format!("seed {seed}"));
+        let event = assert_three_way(CampaignConfig::small(seed), &format!("seed {seed}"));
         assert!(event.tests_run > 0, "seed {seed} ran nothing");
     }
 }
@@ -46,25 +61,71 @@ fn small_naive_mode_identical_across_engines() {
             period: SimDuration::from_days(1),
         };
         cfg.duration = SimDuration::from_days(6);
-        let lockstep = run(cfg.clone(), Engine::Lockstep);
-        let event = run(cfg, Engine::NextEvent);
-        assert_equivalent(&lockstep, &event, &format!("naive seed {seed}"));
+        let event = assert_three_way(cfg, &format!("naive seed {seed}"));
         assert!(event.tests_run > 0);
     }
 }
 
 #[test]
 fn paper_scale_scheduling_scenario_identical_across_engines() {
-    // The bench workload, shortened: paper-scale testbed, external
-    // scheduler, heavy user load.
+    // The bench workload, shortened: paper-scale 8-site testbed, external
+    // scheduler, heavy user load — one run-queue shard per site under
+    // ParallelSite.
     for seed in [7, 42] {
         let mut cfg =
             throughout::core::scenario::scheduling_scenario(seed, SchedulingMode::External);
         cfg.duration = SimDuration::from_days(1);
-        let lockstep = run(cfg.clone(), Engine::Lockstep);
-        let event = run(cfg, Engine::NextEvent);
-        assert_equivalent(&lockstep, &event, &format!("paper-scale seed {seed}"));
+        let event = assert_three_way(cfg, &format!("paper-scale seed {seed}"));
         assert!(event.tests_run > 0);
+    }
+}
+
+/// Forced co-allocation: a two-site grid world whose only active family is
+/// kavlan, so the global-VLAN configuration (one node on each of two
+/// sites, `oargridsub`-style) dominates the run. Co-allocations are the
+/// cross-site effect the sharded engine must keep in canonical order —
+/// the split touches two shards atomically at a barrier.
+#[test]
+fn forced_co_allocation_identical_across_engines() {
+    let mut cfg = throughout::core::scenario::grid_of_grids_scenario(11, 2);
+    cfg.duration = SimDuration::from_days(2);
+    cfg.rollout = Rollout {
+        phases: vec![(SimTime::ZERO, vec![Family::Kavlan])],
+    };
+    let event = assert_three_way(cfg, "forced co-allocation");
+    assert!(event.tests_run > 0, "kavlan-only campaign ran nothing");
+    assert!(
+        event.co_allocations > 0,
+        "the global-VLAN configuration never co-allocated"
+    );
+}
+
+/// The worker-count sweep: ParallelSite must be bit-identical to
+/// NextEvent at every `RAYON_NUM_THREADS`, across 32 seeds. On a machine
+/// with few cores the higher counts collapse to the same pool width —
+/// the CI matrix re-runs this whole binary under `RAYON_NUM_THREADS=1`
+/// and `=16` to force both extremes regardless of the host.
+#[test]
+fn parallel_site_is_thread_count_invariant_across_32_seeds() {
+    let references: Vec<CampaignDigest> = (1..=32)
+        .map(|seed| run(CampaignConfig::small(seed), Engine::NextEvent))
+        .collect();
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    for threads in ["1", "4", "16"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        for (i, reference) in references.iter().enumerate() {
+            let seed = i as u64 + 1;
+            let parallel = run(CampaignConfig::small(seed), Engine::ParallelSite);
+            assert_equivalent(
+                reference,
+                &parallel,
+                &format!("seed {seed} at {threads} workers"),
+            );
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
     }
 }
 
@@ -81,15 +142,19 @@ fn digest_diff_names_the_diverging_fields() {
 #[test]
 fn partial_advance_matches_single_run() {
     // Driving the event engine in several run_until legs lands on the same
-    // grid and the same outcome as one shot.
-    let mut a = Campaign::new(CampaignConfig::small(5));
-    a.run();
-    let mut b = Campaign::new(CampaignConfig::small(5));
-    for day in [2u64, 5, 7] {
-        b.run_until(throughout::sim::SimTime::from_days(day));
+    // grid and the same outcome as one shot — for the sharded engine too.
+    for engine in [Engine::NextEvent, Engine::ParallelSite] {
+        let mut cfg = CampaignConfig::small(5);
+        cfg.engine = engine;
+        let mut a = Campaign::new(cfg.clone());
+        a.run();
+        let mut b = Campaign::new(cfg);
+        for day in [2u64, 5, 7] {
+            b.run_until(SimTime::from_days(day));
+        }
+        b.run();
+        assert_eq!(a.metrics().tests_run, b.metrics().tests_run, "{engine:?}");
+        assert_eq!(a.tracker().filed(), b.tracker().filed(), "{engine:?}");
+        assert_eq!(a.tracker().fixed(), b.tracker().fixed(), "{engine:?}");
     }
-    b.run();
-    assert_eq!(a.metrics().tests_run, b.metrics().tests_run);
-    assert_eq!(a.tracker().filed(), b.tracker().filed());
-    assert_eq!(a.tracker().fixed(), b.tracker().fixed());
 }

@@ -198,6 +198,35 @@ fn swarm_regression_seed_9026_multi_site_naive_cron() {
     assert!(run.tests_run() > 0);
 }
 
+/// The large-scale acceptance: an eight-site world (the sharded engine's
+/// home turf) pinned from the fuzzer's large-scale cell block must pass
+/// every oracle — in particular the three-way engine equivalence, whose
+/// ParallelSite leg exercises one run-queue shard per site plus the
+/// parallel federation/scheduler fan-outs. The horizon is capped so the
+/// three campaign runs stay CI-affordable.
+#[test]
+fn eight_site_scenario_passes_every_oracle() {
+    use throughout::scengen::{pin_to_cell, StructuralCell};
+    use throughout::sim::rng::stream_rng;
+    let mut rng = stream_rng(17, "swarm-grid");
+    let mut spec = ScenarioSpec::from_seed(33);
+    let cell = StructuralCell {
+        mode: 0,
+        rollout: 0,
+        sites: 8,
+        site_faults: true,
+        calm: false,
+    };
+    pin_to_cell(&mut spec, cell, &mut rng);
+    assert_eq!(spec.site_count(), 8);
+    assert!(spec.has_site_faults());
+    spec.duration_hours = spec.duration_hours.min(48);
+
+    let run = run_scenario(&spec, &Oracles::default());
+    assert!(run.violations.is_empty(), "eight-site scenario failed: {:?}", run.violations);
+    assert!(run.tests_run() > 0, "scenario ran no tests");
+}
+
 /// A spec that violates nothing does not shrink into a reproducer.
 #[test]
 fn passing_spec_does_not_shrink() {

@@ -1,14 +1,24 @@
 //! Vendored minimal stand-in for `rayon`.
 //!
-//! Supports the `(range | vec).into_par_iter().map(f).collect()` shape with
-//! real parallelism: items are split into one contiguous chunk per
-//! available core and mapped on `std::thread::scope` threads, preserving
-//! input order in the collected output. No work stealing — fine for the
-//! coarse-grained, similar-cost tasks the workspace fans out.
+//! Supports `(range | vec).into_par_iter()`, `.par_iter()` over slices and
+//! `.par_iter_mut()` over mutable slices, each with `.map(f)` /
+//! `.for_each(f)` / `.collect()`, preserving input order in the collected
+//! output. Work runs on a lazily-started persistent worker pool (see
+//! [`pool`]) instead of spawning threads per call, so fine-grained fan-outs
+//! — a few hundred microseconds of work per dispatch, thousands of
+//! dispatches per simulated day — pay an atomic claim per chunk rather
+//! than a thread spawn. No work stealing — chunks are contiguous and
+//! claimed whole, which is fine for the coarse, similar-cost tasks the
+//! workspace fans out.
 
-/// Number of worker threads used for fan-out. Like the real crate's
-/// default pool, `RAYON_NUM_THREADS` overrides the core count (values
-/// that fail to parse, or 0, fall back to the detected parallelism).
+pub mod pool;
+
+/// Number of chunks a fan-out is split into. Like the real crate's default
+/// pool, `RAYON_NUM_THREADS` overrides the core count (values that fail to
+/// parse, or 0, fall back to the detected parallelism). Read per call, so
+/// tests can vary it at runtime; the persistent pool itself is sized once
+/// from the detected parallelism and simply leaves chunks unclaimed-by-
+/// workers when asked for fewer.
 pub fn current_num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -79,6 +89,35 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Mutably-borrowing conversion: `collection.par_iter_mut()` hands each
+/// element out as `&mut T`, in order — what the sharded campaign engine
+/// uses to advance per-site scheduling domains concurrently.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
 /// Marker trait so `use rayon::prelude::*` keeps working for generic code.
 pub trait ParallelIterator {}
 
@@ -114,6 +153,22 @@ pub struct ParMap<T, F> {
 
 impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParallelIterator for ParMap<T, F> {}
 
+/// Raw pointer the pool closure may index from several threads at once;
+/// chunks are disjoint index ranges, each executed exactly once, so the
+/// aliasing is write-disjoint.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// The caller must be the only thread touching index `i`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
 impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
     fn run(self) -> Vec<O> {
         let ParMap { items, f } = self;
@@ -123,20 +178,28 @@ impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
         }
         let threads = current_num_threads().min(n);
         let chunk = n.div_ceil(threads);
-        // Wrap each item so chunks can hand out owned values in order.
+        let n_chunks = n.div_ceil(chunk);
+        // Wrap inputs/outputs so chunks hand out owned values in order.
         let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
         let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
-        let f = &f;
-        std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                        let item = slot.take().expect("slot filled above");
-                        *dst = Some(f(item));
-                    }
-                });
-            }
-        });
+        {
+            let slots_ptr = SendPtr(slots.as_mut_ptr());
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            let f = &f;
+            pool::run_chunks(n_chunks, &|c| {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                for i in lo..hi {
+                    // Safety: chunk ranges partition 0..n and `run_chunks`
+                    // executes each chunk index exactly once, so every slot
+                    // is touched by exactly one thread.
+                    let slot = unsafe { slots_ptr.slot(i) };
+                    let dst = unsafe { out_ptr.slot(i) };
+                    let item = slot.take().expect("slot filled above");
+                    *dst = Some(f(item));
+                }
+            });
+        }
         out.into_iter()
             .map(|s| s.expect("all chunks completed"))
             .collect()
@@ -154,7 +217,10 @@ impl<T: Send, O: Send, F: Fn(T) -> O + Sync> ParMap<T, F> {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
 }
 
 #[cfg(test)]
@@ -178,5 +244,48 @@ mod tests {
         let items: Vec<String> = (0..100).map(|i| format!("item-{i}")).collect();
         let out: Vec<usize> = items.par_iter().map(|s| s.len()).collect();
         assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_updates_every_element() {
+        let mut items: Vec<u64> = (0..257).collect();
+        items.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(items, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        // A parallel map whose tasks themselves dispatch parallel maps: the
+        // dispatcher participates in its own batch, so inner fan-outs make
+        // progress even with every worker blocked on an outer task.
+        let out: Vec<u64> = (0u64..16)
+            .into_par_iter()
+            .map(|i| (0u64..64).into_par_iter().map(|j| i * j).collect::<Vec<_>>().iter().sum())
+            .collect();
+        let want: Vec<u64> = (0u64..16).map(|i| i * (0u64..64).sum::<u64>()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_dispatcher() {
+        let r = std::panic::catch_unwind(|| {
+            (0u64..64).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err(), "worker panic must reach the dispatcher");
+        // The pool survives a panicked batch.
+        let out: Vec<u64> = (0u64..64).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn honors_rayon_num_threads_at_one() {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 7).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0u64..100).map(|x| x * 7).collect::<Vec<_>>());
     }
 }

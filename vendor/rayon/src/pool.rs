@@ -1,0 +1,209 @@
+//! The persistent worker pool behind every parallel pipeline.
+//!
+//! One global pool, started lazily on the first multi-chunk dispatch and
+//! sized once from the detected parallelism. A dispatch enqueues a *job*
+//! — a closure plus a count of claimable chunk indices — wakes the
+//! workers, and then **participates in its own job**, claiming chunks
+//! exactly like a worker until none are left. That participation is what
+//! makes nested dispatch deadlock-free: a task running on a pool worker
+//! can itself dispatch a job and drain it single-handedly even when every
+//! other worker is blocked inside outer tasks.
+//!
+//! Chunks are claimed with an atomic counter, so the assignment of chunks
+//! to threads is racy — but callers only ever write disjoint, chunk-owned
+//! slots, and the dispatcher blocks until the last chunk reports done, so
+//! results are independent of which thread ran what. A panicking chunk is
+//! caught, recorded, and re-raised on the dispatcher once the batch
+//! completes; the pool itself survives.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One dispatched batch: `call(data, chunk)` runs chunk `chunk`.
+///
+/// `data` points at a closure on the dispatcher's stack; the dispatcher
+/// does not return before `done == chunks`, so the pointee outlives every
+/// use (the `unsafe impl Send/Sync` below encode exactly that contract).
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    chunks: usize,
+    /// Next unclaimed chunk index (may overshoot `chunks`).
+    next: AtomicUsize,
+    /// Chunks completed (executed or panicked).
+    done: AtomicUsize,
+    panicked: AtomicBool,
+    /// Completion latch the dispatcher waits on.
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+}
+
+static POOL: OnceLock<Arc<PoolState>> = OnceLock::new();
+
+fn pool() -> &'static Arc<PoolState> {
+    POOL.get_or_init(|| {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        });
+        // The dispatcher always participates, so N-1 workers saturate N
+        // cores; at least one worker so single-core machines still overlap
+        // a blocked dispatcher.
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .saturating_sub(1)
+            .max(1);
+        for i in 0..workers {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawn pool worker");
+        }
+        state
+    })
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job: Arc<Job> = {
+            let mut q = state.queue.lock().expect("pool lock");
+            loop {
+                // Drop jobs with nothing left to claim; grab the first
+                // claimable one.
+                while let Some(front) = q.front() {
+                    if front.next.load(Ordering::Relaxed) >= front.chunks {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(front) = q.front() {
+                    break Arc::clone(front);
+                }
+                q = state.work_cv.wait(q).expect("pool lock");
+            }
+        };
+        work_on(&job);
+    }
+}
+
+/// Claim and run chunks of `job` until none are left.
+fn work_on(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.chunks {
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
+        if outcome.is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        // AcqRel: the thread observing the final count sees every chunk's
+        // writes.
+        if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.chunks {
+            let mut finished = job.finished.lock().expect("job lock");
+            *finished = true;
+            job.finished_cv.notify_all();
+        }
+    }
+}
+
+unsafe fn call_shim<F: Fn(usize) + Sync>(data: *const (), chunk: usize) {
+    (*data.cast::<F>())(chunk)
+}
+
+/// Run `f(0..chunks)` across the pool, blocking until every chunk
+/// completed. Chunk indices are each executed exactly once; the order and
+/// thread assignment are unspecified. Panics (once, on the dispatcher) if
+/// any chunk panicked.
+pub fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
+    if chunks <= 1 {
+        if chunks == 1 {
+            f(0);
+        }
+        return;
+    }
+    let state = pool();
+    let job = Arc::new(Job {
+        data: (f as *const F).cast(),
+        call: call_shim::<F>,
+        chunks,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+    });
+    {
+        let mut q = state.queue.lock().expect("pool lock");
+        q.push_back(Arc::clone(&job));
+    }
+    state.work_cv.notify_all();
+    // Participate: drain our own job's chunks alongside the workers.
+    work_on(&job);
+    // Wait for chunks claimed by workers to finish.
+    {
+        let mut finished = job.finished.lock().expect("job lock");
+        while !*finished {
+            finished = job.finished_cv.wait(finished).expect("job lock");
+        }
+    }
+    // The job is fully claimed, so workers skip it; sweep it out of the
+    // queue if no worker got there first.
+    {
+        let mut q = state.queue.lock().expect("pool lock");
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("a parallel chunk panicked (original payload reported on its worker)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        run_chunks(97, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_chunks_run_inline() {
+        run_chunks(0, &|_| panic!("no chunks to run"));
+        let ran = AtomicU64::new(0);
+        run_chunks(1, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sequential_batches_reuse_the_pool() {
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            run_chunks(8, &|i| {
+                sum.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 8 * round + 28);
+        }
+    }
+}
