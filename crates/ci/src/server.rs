@@ -13,7 +13,7 @@
 use crate::matrix::{expand_axes, render_cell};
 use crate::model::{Build, BuildRef, BuildResult, Cause, JobKind, JobSpec};
 use std::collections::{BTreeMap, VecDeque};
-use ttt_sim::SimTime;
+use ttt_sim::{Buggify, SimTime};
 
 /// A unit of work handed to the orchestrator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,12 @@ pub struct CiServer {
     next_number: BTreeMap<String, u32>,
     now: SimTime,
     last_trigger_scan: SimTime,
+    /// Chaos hook: when armed, an assignment round can spuriously defer
+    /// (executor hiccup). Off by default.
+    buggify: Buggify,
+    /// Monotone count of assignment attempts — the salt that makes the
+    /// rng-free buggify decision deterministic and replayable.
+    assign_attempts: u64,
 }
 
 impl CiServer {
@@ -55,7 +61,16 @@ impl CiServer {
             next_number: BTreeMap::new(),
             now: SimTime::ZERO,
             last_trigger_scan: SimTime::ZERO,
+            buggify: Buggify::off(),
+            assign_attempts: 0,
         }
+    }
+
+    /// Arm (or disarm) the buggify chaos hook. The campaign driver calls
+    /// this once at construction; rate 0.0 keeps the server byte-identical
+    /// to a build without the hook.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
     }
 
     /// Register (or replace) a job definition. Replacement keeps the
@@ -192,6 +207,13 @@ impl CiServer {
     }
 
     /// Move queued builds onto free executors; returns the work to run.
+    ///
+    /// When buggify is armed, an individual assignment can spuriously
+    /// defer — the executor "hiccups" and the build stays at the head of
+    /// the queue for the next round. The decision is hashed from a
+    /// monotone attempt counter (no RNG draw), so it replays identically
+    /// across engines and shrink/replay runs, and a deferred build is
+    /// retried with a fresh salt — delay, never starvation.
     pub fn assign(&mut self) -> Vec<WorkItem> {
         let mut out = Vec::new();
         for slot in self.executors.iter_mut() {
@@ -201,6 +223,11 @@ impl CiServer {
             let Some((r, cause)) = self.queue.pop_front() else {
                 break;
             };
+            self.assign_attempts += 1;
+            if self.buggify.fire_hashed("ci-assign", self.assign_attempts) {
+                self.queue.push_front((r, cause));
+                break;
+            }
             if let Some(b) = find_build_mut(&mut self.history, &r) {
                 b.started_at = Some(self.now);
             }

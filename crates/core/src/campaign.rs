@@ -58,7 +58,7 @@ struct BlockedWork {
 /// behavioral fingerprint of a campaign (which subsystems actually drove
 /// its timeline), read by the coverage-guided fuzzer. Only the next-event
 /// engine populates it; lockstep never computes wakes.
-pub const WAKE_REASONS: [&str; 14] = [
+pub const WAKE_REASONS: [&str; 15] = [
     "dirty-nodes",
     "free-executor",
     "test-completion",
@@ -72,6 +72,7 @@ pub const WAKE_REASONS: [&str; 14] = [
     "operator-cadence",
     "sample-cadence",
     "snapshot-cadence",
+    "service-restart",
     "quiet",
 ];
 
@@ -154,16 +155,30 @@ impl Campaign {
         let mut refapi = RefApi::new();
         refapi.publish_from(&tb, SimTime::ZERO);
 
+        // Arm buggify before anything draws: rate 0.0 (the default) never
+        // fires and never consumes a stream, so unarmed campaigns are
+        // byte-identical to pre-buggify ones.
+        tb.set_buggify(ttt_sim::Buggify::new(cfg.seed, cfg.buggify_rate));
+
         // Pre-existing fault burden: drift accumulated before testing
         // started, drawn from the same kind distribution as arrivals.
         let mut rng_burden = rngs.stream("initial-burden");
         // Draw burden kinds from the arrival distribution; a quiescent
         // injector still gets a burden drawn uniformly over all kinds.
+        // Service-process faults are excluded: burden models wear that
+        // accumulated unnoticed, and a crashed daemon at t=0 is not that —
+        // crashes/restarts/link degradation must *arrive* as events (a t=0
+        // ServiceCrash on every OAR server would starve a campaign whose
+        // rollout has no family able to diagnose it).
         let kinds: Vec<FaultKind> = if cfg.injector.rates_per_day.is_empty() {
             FaultKind::ALL.to_vec()
         } else {
             cfg.injector.rates_per_day.iter().map(|(k, _)| *k).collect()
         };
+        let kinds: Vec<FaultKind> = kinds
+            .into_iter()
+            .filter(|k| !FaultKind::SERVICE_PROCESS.contains(k))
+            .collect();
         let mut applied = 0;
         let mut attempts = 0;
         while applied < cfg.initial_fault_burden && attempts < cfg.initial_fault_burden * 20 {
@@ -186,6 +201,9 @@ impl Campaign {
             sched.set_parallel(true);
         }
         let mut ci = CiServer::new(cfg.executors);
+        // Same seed and rate as the testbed's hook: the CI side only uses
+        // the rng-free hashed variant, so arming it never shifts a stream.
+        ci.set_buggify(ttt_sim::Buggify::new(cfg.seed, cfg.buggify_rate));
         let images = standard_images();
         let suite = build_suite(&tb, &images);
         for family in ttt_suite::Family::ALL {
@@ -312,6 +330,13 @@ impl Campaign {
     /// Build the status page from the CI server's REST views.
     pub fn status_grid(&self) -> StatusGrid {
         StatusGrid::from_views(&ttt_ci::JobView::all_from_server(&self.ci))
+    }
+
+    /// The per-site service-process panel: daemon liveness plus the chaos
+    /// ledger, distinguishing "site powered but its daemon is down" from a
+    /// site outage on the operator's status page.
+    pub fn services_panel(&self) -> ttt_status::ServicesPanel {
+        ttt_status::ServicesPanel::from_testbed(&self.tb)
     }
 
     /// CI REST views (for `ttt-status` consumers).
@@ -467,6 +492,8 @@ impl Campaign {
         merge!(Some(self.last_op_step + self.cfg.operator_cadence));
         merge!(Some(self.last_sample + self.cfg.sample_cadence));
         merge!(Some(self.last_snapshot + SimDuration::from_days(1)));
+        // Scheduled service-process restarts (bounded downtime windows).
+        merge!(self.tb.next_service_restart());
         let _ = reason;
         wake
     }
@@ -479,10 +506,20 @@ impl Campaign {
         self.fed.advance(t);
         // 2. Faults arrive.
         self.injector.advance(t, &mut self.tb, &mut self.rng_inject);
+        // 2b. Bounded service-restart windows that elapsed complete on
+        //     their own: the restart *is* the repair (fault-id order keeps
+        //     this deterministic across engines).
+        for id in self.tb.due_service_restarts(t) {
+            self.tb.repair(id);
+        }
         // 3. Every site's OAR notices dead/repaired hardware (diff of
-        //    flipped nodes only — no full testbed rescan).
+        //    flipped nodes only — no full testbed rescan), and learns
+        //    whether its own server process is up (a dead OAR process
+        //    stops placement on that domain — without looking anything
+        //    like a site blackout).
         let dirty = self.tb.take_alive_dirty();
         self.fed.sync_dirty_nodes(&self.tb, &dirty);
+        self.fed.sync_process_liveness(&self.tb);
         // 4. New test families roll out.
         self.apply_rollout(t);
         // 5. Finish tests whose virtual duration elapsed.

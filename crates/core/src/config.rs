@@ -163,6 +163,11 @@ pub struct CampaignConfig {
     /// of the whole cluster — the "per-node scheduling" open question of
     /// slide 23, as an ablation.
     pub per_node_hardware: bool,
+    /// Buggify rate for IO-shaped callsites (0.0 = off, the default).
+    /// When non-zero, the testbed's RPC envelope, the deployment engine
+    /// and the CI assignment path inject chaos at this per-call rate,
+    /// seeded deterministically from `seed`.
+    pub buggify_rate: f64,
 }
 
 impl CampaignConfig {
@@ -189,6 +194,7 @@ impl CampaignConfig {
             operator_triage: SimDuration::from_days(1),
             rollout: Rollout::all_at_start(),
             per_node_hardware: false,
+            buggify_rate: 0.0,
         }
     }
 }

@@ -37,6 +37,11 @@ fn candidate_kinds(prefix: &str) -> &'static [FaultKind] {
         // so an unlucky sample still repairs the right fault.
         "service-flaky" => &[FaultKind::ServiceFlaky, FaultKind::ServiceDown],
         "service-down" => &[FaultKind::ServiceDown, FaultKind::ServiceFlaky],
+        // A refused probe cannot tell a crash from a bounded restart —
+        // match both so the repair lands on whichever killed the process.
+        "service-crash" => &[FaultKind::ServiceCrash, FaultKind::ServiceRestart],
+        "service-restart" => &[FaultKind::ServiceRestart, FaultKind::ServiceCrash],
+        "rpc-degraded" => &[FaultKind::RpcDegraded],
         // Site-scoped faults (multi-site federation).
         "site-power-outage" => &[FaultKind::SitePowerOutage],
         "site-link-partition" => &[FaultKind::SiteLinkPartition],

@@ -34,6 +34,7 @@ pub fn paper_scenario(seed: u64) -> CampaignConfig {
         operator_triage: SimDuration::from_days(2),
         rollout: Rollout::staged(),
         per_node_hardware: false,
+        buggify_rate: 0.0,
     }
 }
 
@@ -64,6 +65,7 @@ pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
         operator_triage: SimDuration::from_days(2),
         rollout: Rollout::all_at_start(),
         per_node_hardware: false,
+        buggify_rate: 0.0,
     }
 }
 

@@ -1,0 +1,142 @@
+//! Property tests for [`ShardedRunQueue`]: the site-sharded queue must be
+//! observationally identical to one global stable-sorted queue — that is
+//! the whole engine-equivalence argument for the ParallelSite engine's
+//! per-site split. Three laws, each against a plain-`Vec` model:
+//!
+//! 1. draining pops in global `(time, insertion order)` — the k-way merge
+//!    replays exactly the sequence a single queue would produce;
+//! 2. per-site completion counts match the model's per-shard tally, and
+//!    every pop names the shard the item was pushed on;
+//! 3. the order law survives interleaved push/pop (items pushed *after*
+//!    pops started still merge at their correct global position).
+
+use proptest::prelude::*;
+use ttt_core::shard::ShardedRunQueue;
+use ttt_sim::{SimDuration, SimTime};
+
+const SHARDS: usize = 4;
+
+fn t(mins: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_mins(mins)
+}
+
+/// A push: `(shard, due-minute, payload)`. The minute range is tiny so
+/// cross-shard time ties — the FIFO-stability case — are common.
+fn pushes() -> impl Strategy<Value = Vec<(usize, u64, u32)>> {
+    prop::collection::vec((0usize..SHARDS, 0u64..10, 0u32..10_000), 0..80)
+}
+
+/// The model: the push sequence stable-sorted by due time. Ties keep
+/// push order, which is exactly the global-seq tie-break the real queue
+/// promises.
+fn model(events: &[(usize, u64, u32)]) -> Vec<(usize, u64, u32)> {
+    let mut m = events.to_vec();
+    m.sort_by_key(|&(_, mins, _)| mins);
+    m
+}
+
+fn filled(events: &[(usize, u64, u32)]) -> ShardedRunQueue<u32> {
+    let mut q = ShardedRunQueue::new(SHARDS);
+    for &(shard, mins, v) in events {
+        q.push(shard, t(mins), v);
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Law 1: a full drain is the stable time-sort of the pushes.
+    #[test]
+    fn drain_replays_global_fifo_order(events in pushes()) {
+        let mut q = filled(&events);
+        prop_assert_eq!(q.len(), events.len());
+        let mut popped = Vec::new();
+        while let Some((at, shard, v)) = q.pop_due(SimTime::MAX) {
+            popped.push((shard, at.as_secs() / 60, v));
+        }
+        prop_assert_eq!(popped, model(&events));
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.peek_time(), None);
+    }
+
+    /// Law 2: per-site completion counts equal the model's per-shard
+    /// tally at every deadline, and `shard_len` accounts for the rest.
+    #[test]
+    fn per_site_completion_counts_match_the_model(
+        events in pushes(),
+        deadline in 0u64..12,
+    ) {
+        let mut q = filled(&events);
+        let mut completed = [0usize; SHARDS];
+        while let Some((at, shard, _)) = q.pop_due(t(deadline)) {
+            prop_assert!(at <= t(deadline), "popped an item not yet due");
+            completed[shard] += 1;
+        }
+        for (shard, &done) in completed.iter().enumerate() {
+            let due = events
+                .iter()
+                .filter(|&&(s, mins, _)| s == shard && mins <= deadline)
+                .count();
+            prop_assert_eq!(done, due, "shard {}", shard);
+            let pending = events
+                .iter()
+                .filter(|&&(s, mins, _)| s == shard && mins > deadline)
+                .count();
+            prop_assert_eq!(q.shard_len(shard), pending, "shard {}", shard);
+        }
+        prop_assert_eq!(q.len(), events.len() - completed.iter().sum::<usize>());
+    }
+
+    /// Law 3: interleaving pushes between pops never breaks the merge
+    /// order. Half the events go in up front; then the drain alternates
+    /// "pop one due item, push the next pending event". Every pop must
+    /// still come out in global `(time, seq)` order over the items
+    /// present at pop time — verified against a model that replays the
+    /// same interleaving with a stable sort.
+    #[test]
+    fn interleaved_push_pop_keeps_merge_order(
+        events in pushes(),
+        now in 4u64..12,
+    ) {
+        let split = events.len() / 2;
+        let mut q = filled(&events[..split]);
+        // The model mirrors the queue's contents as (time, seq, payload).
+        let mut in_queue: Vec<(u64, usize, u32)> = events[..split]
+            .iter()
+            .enumerate()
+            .map(|(seq, &(_, mins, v))| (mins, seq, v))
+            .collect();
+        let mut next_seq = split;
+        let mut pending = events[split..].iter();
+        loop {
+            let popped = q.pop_due(t(now));
+            // Model pop: least (time, seq) among due items.
+            let model_pop = in_queue
+                .iter()
+                .filter(|&&(mins, _, _)| mins <= now)
+                .min_by_key(|&&(mins, seq, _)| (mins, seq))
+                .copied();
+            match (popped, model_pop) {
+                (Some((at, _, v)), Some((mins, seq, mv))) => {
+                    prop_assert_eq!((at, v), (t(mins), mv));
+                    in_queue.retain(|&(_, s, _)| s != seq);
+                }
+                (None, None) => break,
+                (got, want) => {
+                    prop_assert!(false, "queue and model disagree: {:?} vs {:?}", got, want);
+                }
+            }
+            if let Some(&(shard, mins, v)) = pending.next() {
+                q.push(shard, t(mins), v);
+                in_queue.push((mins, next_seq, v));
+                next_seq += 1;
+            }
+        }
+        // Whatever remains is exactly the not-yet-due suffix.
+        prop_assert_eq!(q.len(), in_queue.len());
+        if let Some(head) = q.peek_time() {
+            prop_assert!(head > t(now));
+        }
+    }
+}

@@ -112,6 +112,12 @@ impl KadeployServer {
     /// free, finish running ones whose makespan elapsed. Work is started
     /// at a moving time cursor, so a queued deployment begins exactly when
     /// the slot that admits it frees up.
+    ///
+    /// A site whose Kadeploy server process is crashed admits nothing: its
+    /// queued deployments stay queued (resumable after repair), while
+    /// deployments already holding a slot run to completion. A crash
+    /// mid-queue therefore never wedges the server — work either finishes
+    /// or waits, it is never half-started.
     pub fn advance<R: Rng>(&mut self, tb: &mut Testbed, to: SimTime, rng: &mut R) {
         let mut cursor = self.now;
         loop {
@@ -125,7 +131,9 @@ impl KadeployServer {
                     .filter(|r| r.meta.site == pending.site)
                     .count();
                 let start = pending.queued_at.max(cursor);
-                if site_busy < self.per_site_slots && start <= to {
+                let process_up =
+                    tb.process_up(pending.site, ttt_testbed::ServiceKind::KadeployServer);
+                if process_up && site_busy < self.per_site_slots && start <= to {
                     let report = self.deployer.deploy(tb, &pending.env, &pending.nodes, rng);
                     let ends_at = start + report.makespan;
                     self.running.push(Running {
@@ -254,5 +262,76 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = KadeployServer::new(Deployer::default(), 0);
+    }
+
+    /// A crashed Kadeploy process mid-queue never wedges the server: the
+    /// deployment already holding a slot completes, the queued one waits,
+    /// and repairing the process resumes it exactly where it stood.
+    #[test]
+    fn crashed_process_leaves_queue_resumable() {
+        use ttt_testbed::{FaultKind, FaultTarget, ServiceKind};
+        let mut tb = TestbedBuilder::small().build();
+        let alpha = tb.cluster_by_name("alpha").unwrap().nodes.clone();
+        let beta = tb.cluster_by_name("beta").unwrap().nodes.clone();
+        let site = tb.node(alpha[0]).site;
+        let mut server = KadeployServer::new(Deployer::default(), 1);
+        let mut rng = stream_rng(9, "kadeploy-server");
+        server.submit(&tb, &env(), &alpha, SimTime::ZERO);
+        let queued = server.submit(&tb, &env(), &beta, SimTime::ZERO);
+        // Let the first deployment start and hold the site's only slot.
+        server.advance(&mut tb, SimTime::from_mins(1), &mut rng);
+        assert_eq!(server.running_len(), 1);
+        assert_eq!(server.queue_len(), 1);
+        // Crash the server process mid-deployment.
+        let fault = tb
+            .apply_fault(
+                FaultKind::ServiceCrash,
+                FaultTarget::Service(site, ServiceKind::KadeployServer),
+                SimTime::from_mins(1),
+            )
+            .unwrap();
+        server.advance(&mut tb, SimTime::from_mins(30), &mut rng);
+        // The running deployment finished cleanly; the queued one was not
+        // admitted while the process was down.
+        assert_eq!(server.finished().len(), 1);
+        assert_eq!(server.queue_len(), 1, "queued work must survive the crash");
+        assert_eq!(server.running_len(), 0);
+        // Operator repair: the queue resumes without resubmission.
+        tb.repair(fault.id);
+        server.advance(&mut tb, SimTime::from_mins(60), &mut rng);
+        assert_eq!(server.finished().len(), 2);
+        assert_eq!(server.finished()[1].id, queued);
+        assert!(server.finished()[1].report.success_ratio() > 0.9);
+    }
+
+    /// With the process down, the workflow layer fails cleanly: every node
+    /// reports unreachable, nothing on the testbed changes, zero rounds.
+    #[test]
+    fn deploy_against_down_process_fails_cleanly() {
+        use ttt_testbed::{FaultKind, FaultTarget, ServiceKind};
+        let mut tb = TestbedBuilder::small().build();
+        let nodes = tb.cluster_by_name("alpha").unwrap().nodes.clone();
+        let site = tb.node(nodes[0]).site;
+        tb.apply_fault(
+            FaultKind::ServiceCrash,
+            FaultTarget::Service(site, ServiceKind::KadeployServer),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let mut rng = stream_rng(10, "kadeploy-server");
+        let report = Deployer::default().deploy(&mut tb, &env(), &nodes, &mut rng);
+        assert_eq!(report.success_ratio(), 0.0);
+        assert_eq!(report.rounds, 0);
+        for (_, outcome) in &report.outcomes {
+            match outcome {
+                crate::workflow::NodeOutcome::Failed { reason, .. } => {
+                    assert_eq!(reason, "kadeploy server unreachable");
+                }
+                other => panic!("expected clean failure, got {other:?}"),
+            }
+        }
+        for &n in &nodes {
+            assert_eq!(tb.node(n).condition.deployments, 0);
+        }
     }
 }

@@ -153,6 +153,11 @@ impl Deployer {
 
     /// Deploy `env` to `nodes`, mutating the testbed (deployed environment
     /// recorded on each success, boot/deployment counters updated).
+    ///
+    /// If the site's Kadeploy server process is down, the workflow fails
+    /// *cleanly*: every node reports `kadeploy server unreachable`, no
+    /// testbed state changes and no RNG is drawn — the caller can simply
+    /// resubmit once the process is back (never a wedged half-deployment).
     pub fn deploy<R: Rng>(
         &self,
         tb: &mut Testbed,
@@ -160,6 +165,25 @@ impl Deployer {
         nodes: &[NodeId],
         rng: &mut R,
     ) -> DeployReport {
+        if let Some(&first) = nodes.first() {
+            let site = tb.node(first).site;
+            if !tb.process_up(site, ttt_testbed::ServiceKind::KadeployServer) {
+                return DeployReport {
+                    env_name: env.name.clone(),
+                    outcomes: nodes
+                        .iter()
+                        .map(|&n| {
+                            (n, NodeOutcome::Failed {
+                                step: MacroStep::SetDeploymentEnv,
+                                reason: "kadeploy server unreachable".into(),
+                            })
+                        })
+                        .collect(),
+                    makespan: SimDuration::ZERO,
+                    rounds: 0,
+                };
+            }
+        }
         let mut pending: Vec<NodeId> = nodes.to_vec();
         let mut outcomes: Vec<(NodeId, NodeOutcome)> =
             nodes.iter().map(|&n| (n, NodeOutcome::Failed {
@@ -223,6 +247,17 @@ impl Deployer {
                 outcomes.push((id, NodeOutcome::Failed {
                     step: MacroStep::SetDeploymentEnv,
                     reason: "node does not answer".into(),
+                }));
+                continue;
+            }
+            // Buggify: a chaos-armed campaign occasionally loses the PXE
+            // handshake. Transient — the retry round rescues it. Rate 0
+            // (the default) draws nothing, keeping unarmed campaigns
+            // byte-identical.
+            if tb.buggify().fire(rng) {
+                outcomes.push((id, NodeOutcome::Failed {
+                    step: MacroStep::SetDeploymentEnv,
+                    reason: "buggify: deployment kernel lost on the wire".into(),
                 }));
                 continue;
             }

@@ -109,6 +109,17 @@ impl PowerSampler {
                     continue;
                 }
             }
+            // Buggify: a chaos-armed campaign occasionally loses a sample
+            // (flaky wattmeter read). Hashed from (node, instant) — no RNG
+            // draw, so the decision replays identically across engines.
+            // At the default chaos rates the loss stays far below the 20%
+            // per-label gap the kwapi family alarms on.
+            if tb
+                .buggify()
+                .fire_hashed("kwapi-sample", node.id.0 as u64 ^ t.as_nanos())
+            {
+                continue;
+            }
             let measured = tb.topology().measured_node(node.id);
             let load = loads.get(&measured).copied().unwrap_or(0.0);
             let true_w = perf::power_draw_w(tb.node(measured), load);

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use ttt_refapi::TestbedDescription;
 use ttt_sim::SimTime;
-use ttt_testbed::{NodeId, SiteId, Testbed};
+use ttt_testbed::{NodeId, ServiceKind, SiteId, Testbed};
 
 /// Fewest candidate domains for which a speculative parallel placement
 /// probe beats the short-circuiting sequential walk (pool dispatch costs
@@ -236,8 +236,28 @@ impl Federation {
     }
 
     /// Number of domains with no alive node left (blacked-out sites).
+    /// A crashed OAR *process* does not count — its nodes are still
+    /// powered; see [`Federation::sync_process_liveness`].
     pub fn dead_domains(&self) -> usize {
         self.domains.iter().filter(|d| d.oar.alive_nodes() == 0).count()
+    }
+
+    /// Number of domains whose OAR server process is down right now.
+    pub fn down_processes(&self) -> usize {
+        self.domains.iter().filter(|d| !d.oar.process_up()).count()
+    }
+
+    /// Reconcile per-domain OAR process liveness from the testbed's
+    /// process registry. A domain whose `oar-server` process is down stops
+    /// taking placements and submissions while its nodes stay alive and
+    /// its booked jobs keep running — the "site powered but scheduler
+    /// unreachable" failure mode, distinct from a site power outage.
+    pub fn sync_process_liveness(&mut self, tb: &Testbed) {
+        for domain in &mut self.domains {
+            domain
+                .oar
+                .set_process_up(tb.process_up(domain.site, ServiceKind::OarServer));
+        }
     }
 
     /// The domain owning a site name.
@@ -314,7 +334,7 @@ impl Federation {
             return Placement::Nowhere;
         }
         for &d in &self.candidate_order(home) {
-            if self.domains[d].oar.can_satisfy(request) {
+            if self.domains[d].oar.process_up() && self.domains[d].oar.can_satisfy(request) {
                 return Placement::Queued(d);
             }
         }
@@ -329,6 +349,11 @@ impl Federation {
     fn place_now(&self, home: Option<usize>, request: &ResourceRequest) -> Option<Placement> {
         if request.groups.len() > 1 {
             if let Some(parts) = self.split_by_site(request) {
+                // Every part's scheduling process must be reachable; a
+                // co-allocation cannot book around a crashed domain.
+                if parts.iter().any(|(d, _)| !self.domains[*d].oar.process_up()) {
+                    return None;
+                }
                 let all_immediate = if self.pool_width() > 1 && parts.len() >= 2 {
                     self.probe_immediate(parts.iter().map(|(d, part)| (*d, part)))
                         .into_iter()
@@ -341,7 +366,12 @@ impl Federation {
                 return all_immediate.then_some(Placement::Split(parts));
             }
         }
-        let order = self.candidate_order(home);
+        // Domains whose OAR process is down refuse probes outright.
+        let order: Vec<usize> = self
+            .candidate_order(home)
+            .into_iter()
+            .filter(|&d| self.domains[d].oar.process_up())
+            .collect();
         let width = self.pool_width();
         if width > 1 && order.len() >= PARALLEL_PROBE_MIN_DOMAINS {
             // Chunked speculation: probe one pool-width of candidates at a
@@ -831,6 +861,73 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, SubmitError::Unsatisfiable);
+    }
+
+    #[test]
+    fn crashed_oar_process_is_not_a_blackout() {
+        let (mut tb, mut fed) = setup();
+        let east = tb.sites()[0].id;
+        // A job already running on east keeps running through the crash.
+        let resident = fed
+            .submit(
+                "alice",
+                Queue::Default,
+                JobKind::User,
+                nodes_req(Expr::eq("site", "east"), 2, 5),
+                None,
+            )
+            .unwrap();
+        tb.apply_fault(
+            FaultKind::ServiceCrash,
+            FaultTarget::Service(east, ttt_testbed::ServiceKind::OarServer),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        fed.sync_process_liveness(&tb);
+        // Nodes are still powered: this is NOT a dead domain.
+        assert_eq!(fed.dead_domains(), 0);
+        assert_eq!(fed.down_processes(), 1);
+        assert!(fed.domain(0).oar.alive_nodes() > 0);
+        assert_eq!(fed.job_state(&resident), FedJobState::Running);
+        // New site-agnostic work homed on east spills to west instead.
+        let job = fed
+            .submit(
+                "bob",
+                Queue::Default,
+                JobKind::User,
+                nodes_req(Expr::True, 2, 1),
+                fed.domain_by_name("east"),
+            )
+            .unwrap();
+        assert_eq!(job.primary_domain(), 1);
+        // East-pinned work cannot be booked anywhere while the process is
+        // down...
+        let err = fed
+            .submit(
+                "ci",
+                Queue::Admin,
+                JobKind::Test,
+                nodes_req(Expr::eq("site", "east"), 1, 1),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsatisfiable);
+        assert!(!fed.can_start_now("east", &nodes_req(Expr::eq("site", "east"), 1, 1)));
+        // ...and flows again once the process is repaired.
+        let f = tb.active_faults()[0].clone();
+        tb.repair(f.id);
+        fed.sync_process_liveness(&tb);
+        assert_eq!(fed.down_processes(), 0);
+        let job = fed
+            .submit(
+                "ci",
+                Queue::Admin,
+                JobKind::Test,
+                nodes_req(Expr::eq("site", "east"), 1, 1),
+                None,
+            )
+            .unwrap();
+        assert_eq!(job.primary_domain(), 0);
     }
 
     #[test]

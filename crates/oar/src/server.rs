@@ -186,6 +186,11 @@ pub struct OarServer {
     last_replan_check: SimTime,
     /// Last reservation-history garbage collection.
     last_gc: SimTime,
+    /// Whether this server's OAR *process* is accepting calls. A crashed
+    /// process refuses submissions and placement probes, but the nodes
+    /// underneath stay alive — deliberately distinct from a site blackout,
+    /// where `alive_nodes()` drops to zero.
+    process_up: bool,
 }
 
 impl OarServer {
@@ -214,7 +219,21 @@ impl OarServer {
             horizon: SimDuration::from_days(7),
             last_replan_check: SimTime::ZERO,
             last_gc: SimTime::ZERO,
+            process_up: true,
         }
+    }
+
+    /// Whether the OAR server process itself is up (accepting calls).
+    pub fn process_up(&self) -> bool {
+        self.process_up
+    }
+
+    /// Flip the server-process liveness flag. Already-booked reservations
+    /// and running jobs keep progressing — only *new* interactions
+    /// (submission, placement probes) are refused while down, matching a
+    /// daemon crash that leaves the resource state on disk intact.
+    pub fn set_process_up(&mut self, up: bool) {
+        self.process_up = up;
     }
 
     /// Current virtual time of the server.

@@ -7,7 +7,7 @@
 //! cargo run --release -p ttt_scengen --example swarm -- \
 //!     [--seeds N] [--base B] [--no-equivalence] [--no-detection] \
 //!     [--no-conservation] [--max-tests LIMIT] [--no-shrink] \
-//!     [--dump-dir DIR] [--replay-dir DIR]
+//!     [--dump-dir DIR] [--replay-dir DIR] [--service-chaos]
 //!
 //! # Coverage-guided fuzzing:
 //! cargo run --release -p ttt_scengen --example swarm -- --fuzz \
@@ -33,7 +33,8 @@
 
 use std::time::Instant;
 use ttt_scengen::{
-    replay, run_fuzz, run_swarm, seed_block, Corpus, FuzzConfig, Oracles, ScenarioOutcome,
+    replay, run_fuzz, run_swarm, run_swarm_service_chaos, seed_block, Corpus, FuzzConfig,
+    Oracles, ScenarioOutcome,
 };
 
 fn write_reproducers(outcomes: &[&ScenarioOutcome], dump_dir: Option<&str>) {
@@ -161,6 +162,7 @@ fn main() {
     let mut base: u64 = 1;
     let mut oracles = Oracles::default();
     let mut shrink = true;
+    let mut service_chaos = false;
     let mut dump_dir: Option<String> = None;
     let mut replay_from: Option<String> = None;
     let mut fuzz = false;
@@ -183,6 +185,7 @@ fn main() {
             "--no-detection" => oracles.detection = false,
             "--no-conservation" => oracles.conservation = false,
             "--no-shrink" => shrink = false,
+            "--service-chaos" => service_chaos = true,
             "--dump-dir" => dump_dir = Some(raw("--dump-dir")),
             "--replay-dir" => replay_from = Some(raw("--replay-dir")),
             "--fuzz" => fuzz = true,
@@ -222,12 +225,21 @@ fn main() {
     }
     let seeds = seed_block(base, n);
     println!(
-        "swarm: {n} scenarios (seeds {base}..{}), {} workers",
+        "swarm: {n} scenarios (seeds {base}..{}){}, {} workers",
         base + n as u64,
+        if service_chaos {
+            " [service chaos: process kills + degraded RPC + buggify]"
+        } else {
+            ""
+        },
         rayon::current_num_threads()
     );
     let started = Instant::now();
-    let report = run_swarm(&seeds, &oracles, shrink);
+    let report = if service_chaos {
+        run_swarm_service_chaos(&seeds, &oracles, shrink)
+    } else {
+        run_swarm(&seeds, &oracles, shrink)
+    };
     let elapsed = started.elapsed();
 
     for o in &report.outcomes {

@@ -75,6 +75,11 @@ pub struct CoverageSignature {
     /// The next-event engine found at least one quiet stretch with nothing
     /// pending anywhere.
     pub quiet_stretch: bool,
+    /// A service process was killed (crash or bounded restart) — the
+    /// killable-process dimension of the scenario.
+    pub service_crash_seen: bool,
+    /// A site's RPC link was degraded (injected latency/loss).
+    pub rpc_degraded_seen: bool,
 }
 
 impl CoverageSignature {
@@ -106,6 +111,13 @@ impl CoverageSignature {
             federated_placement: digest.spillovers > 0 || digest.co_allocations > 0,
             arrival_driven: wake_bit("user-arrival") || wake_bit("fault-arrival"),
             quiet_stretch: wake_bit("quiet"),
+            service_crash_seen: digest.injected_by_kind.iter().any(|(k, n)| {
+                *n > 0 && (k == FaultKind::ServiceCrash.name() || k == FaultKind::ServiceRestart.name())
+            }),
+            rpc_degraded_seen: digest
+                .injected_by_kind
+                .iter()
+                .any(|(k, n)| *n > 0 && k == FaultKind::RpcDegraded.name()),
         }
     }
 
@@ -119,6 +131,7 @@ impl CoverageSignature {
             sites: self.sites,
             site_faults: self.site_faults_injected,
             calm: !self.arrival_driven,
+            service_faults: self.service_crash_seen || self.rpc_degraded_seen,
         }
     }
 }
@@ -141,6 +154,9 @@ pub struct StructuralCell {
     /// Whether the world should be arrival-free (no faults, no users, no
     /// maintenance, no burden).
     pub calm: bool,
+    /// Whether service-process fault kinds (crash, bounded restart, RPC
+    /// degradation) should be injected, with buggify armed.
+    pub service_faults: bool,
 }
 
 impl StructuralCell {
@@ -149,9 +165,11 @@ impl StructuralCell {
     /// skipped: 2 modes × 3 rollouts × 4 site counts × 3 regimes = 72,
     /// plus a large-scale block (sites = 8, same mode/rollout/regime
     /// cross) appended at the end so the sharded engine gets federated
-    /// coverage without reordering the original frontier: 72 + 18 = 90.
+    /// coverage without reordering the original frontier (72 + 18 = 90),
+    /// plus a service-chaos block (service faults + buggify armed, 2 and
+    /// 8 sites) appended after that: 90 + 12 = 102.
     pub fn all() -> Vec<StructuralCell> {
-        let mut out = Vec::with_capacity(90);
+        let mut out = Vec::with_capacity(102);
         for mode in 0..2u8 {
             for rollout in 0..3u8 {
                 for sites in 1..=4u8 {
@@ -162,6 +180,7 @@ impl StructuralCell {
                             sites,
                             site_faults,
                             calm,
+                            service_faults: false,
                         });
                     }
                 }
@@ -179,6 +198,24 @@ impl StructuralCell {
                         sites: 8,
                         site_faults,
                         calm,
+                        service_faults: false,
+                    });
+                }
+            }
+        }
+        // Service-chaos cells appended last, same frontier discipline:
+        // every killable-process kind in the mix, buggify armed, on a
+        // small federated world and the large-scale one.
+        for mode in 0..2u8 {
+            for rollout in 0..3u8 {
+                for sites in [2u8, 8] {
+                    out.push(StructuralCell {
+                        mode,
+                        rollout,
+                        sites,
+                        site_faults: false,
+                        calm: false,
+                        service_faults: true,
                     });
                 }
             }
@@ -227,16 +264,17 @@ mod tests {
     #[test]
     fn cells_enumerate_the_lattice_once() {
         let cells = StructuralCell::all();
-        assert_eq!(cells.len(), 90);
+        assert_eq!(cells.len(), 102);
         let mut dedup = cells.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), cells.len(), "duplicate cells");
         assert!(cells.iter().all(|c| !(c.calm && c.site_faults)));
-        // The original 72-cell prefix must stay in place: the fuzzer's
+        // The original 90-cell prefix must stay in place: the fuzzer's
         // frontier order is part of every pinned seed's replay.
-        assert!(cells[..72].iter().all(|c| c.sites <= 4));
-        assert!(cells[72..].iter().all(|c| c.sites == 8));
+        assert!(cells[..72].iter().all(|c| c.sites <= 4 && !c.service_faults));
+        assert!(cells[72..90].iter().all(|c| c.sites == 8 && !c.service_faults));
+        assert!(cells[90..].iter().all(|c| c.service_faults && !c.calm && !c.site_faults));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct ScenarioSpec {
     pub operator_cadence_hours: u64,
     /// Utilization-sampling cadence, hours.
     pub sample_cadence_hours: u64,
+    /// Buggify rate for IO-shaped callsites (0.0 = off). Bare-seed
+    /// expansion always leaves this off; the service-chaos cells and the
+    /// `ToggleBuggify` mutator arm it.
+    pub buggify_rate: f64,
 }
 
 impl ScenarioSpec {
@@ -153,8 +157,12 @@ impl ScenarioSpec {
 
         // Fault mix: each catalogue entry joins with p=½; rates are high
         // relative to the paper (tiny testbed, short horizon) so scenarios
-        // actually accumulate faults.
-        let fault_mix: Vec<(FaultKind, f64)> = FaultKind::ALL
+        // actually accumulate faults. Only the legacy prefix of the
+        // catalogue is drawn here — bare-seed expansion is append-frozen so
+        // every historical seed keeps its spec byte-for-byte. The
+        // service-process kinds enter scenarios through the structural
+        // cells and the `ToggleFaultKind` mutator instead.
+        let fault_mix: Vec<(FaultKind, f64)> = FaultKind::ALL[..FaultKind::LEGACY]
             .iter()
             .filter_map(|&kind| {
                 // Draw the rate unconditionally so inclusion of one kind
@@ -204,7 +212,21 @@ impl ScenarioSpec {
             operator_triage_hours: rng.gen_range(4..=72),
             operator_cadence_hours: *CADENCE_MENU.choose(&mut rng).unwrap(),
             sample_cadence_hours: *CADENCE_MENU.choose(&mut rng).unwrap(),
+            // No draw: arming buggify here would shift every later stream
+            // and break the append-only seed discipline.
+            buggify_rate: 0.0,
         }
+    }
+
+    /// Whether the fault mix contains any service-process kind (crash,
+    /// bounded restart, RPC degradation) or buggify is armed — the
+    /// service-chaos dimension of the scenario.
+    pub fn has_service_faults(&self) -> bool {
+        self.buggify_rate > 0.0
+            || self
+                .fault_mix
+                .iter()
+                .any(|&(k, _)| FaultKind::SERVICE_PROCESS.contains(&k))
     }
 
     /// Total node count of the generated topology.
@@ -290,6 +312,7 @@ impl ScenarioSpec {
             operator_triage: SimDuration::from_hours(self.operator_triage_hours),
             rollout: self.rollout(),
             per_node_hardware: self.per_node_hardware,
+            buggify_rate: self.buggify_rate,
         }
     }
 }

@@ -50,6 +50,7 @@ pub use mutate::{mutate, pin_to_cell, sanitize, Mutator};
 pub use oracle::{CampaignDigest, OracleKind, Violation, KNOWN_COVERAGE_GAPS};
 pub use shrink::{dump_spec, parse_dump, replay, shrink, ReplayError, Reproducer, DUMP_VERSION};
 pub use swarm::{
-    random_coverage, run_fuzz, run_scenario, run_seed, run_swarm, seed_block, FuzzConfig,
-    FuzzReport, Oracles, ScenarioOutcome, ScenarioRun, SwarmReport,
+    random_coverage, run_fuzz, run_scenario, run_seed, run_seed_service_chaos, run_swarm,
+    run_swarm_service_chaos, seed_block, FuzzConfig, FuzzReport, Oracles, ScenarioOutcome,
+    ScenarioRun, SwarmReport,
 };

@@ -69,11 +69,14 @@ pub enum Mutator {
     /// Reseed the campaign's stochastic streams (same structure, new
     /// draws).
     Reseed,
+    /// Arm or disarm buggify chaos at the IO-shaped callsites.
+    ToggleBuggify,
 }
 
 impl Mutator {
-    /// Every move, in a stable order.
-    pub const ALL: [Mutator; 15] = [
+    /// Every move, in a stable order (new moves append — the fuzzer's
+    /// move draws index into this array).
+    pub const ALL: [Mutator; 16] = [
         Mutator::SpliceFaultMix,
         Mutator::ToggleFaultKind,
         Mutator::WarpFaultRate,
@@ -89,6 +92,7 @@ impl Mutator {
         Mutator::WarpBurden,
         Mutator::WarpOperator,
         Mutator::Reseed,
+        Mutator::ToggleBuggify,
     ];
 }
 
@@ -216,6 +220,13 @@ fn apply<R: Rng>(m: Mutator, spec: &mut ScenarioSpec, donor: &ScenarioSpec, rng:
         Mutator::Reseed => {
             spec.seed = rng.gen();
         }
+        Mutator::ToggleBuggify => {
+            spec.buggify_rate = if spec.buggify_rate > 0.0 {
+                0.0
+            } else {
+                *[0.02, 0.05, 0.10].choose(rng).unwrap()
+            };
+        }
     }
 }
 
@@ -300,6 +311,27 @@ pub fn pin_to_cell<R: Rng>(spec: &mut ScenarioSpec, cell: StructuralCell, rng: &
             spec.fault_mix.push((FaultKind::ConsoleDead, 1.0));
         }
     }
+    // Service-chaos dimension, made reliable the same way the site-faults
+    // one is: a service cell carries all three killable-process kinds at
+    // 2/day with buggify armed; any other cell strips them and disarms
+    // buggify so the signature classifies cleanly. No RNG draws here —
+    // pre-existing cells must pin byte-identically.
+    if cell.service_faults {
+        spec.fault_mix
+            .retain(|(k, _)| !FaultKind::SERVICE_PROCESS.contains(k));
+        for kind in FaultKind::SERVICE_PROCESS {
+            spec.fault_mix.push((kind, 2.0));
+        }
+        spec.buggify_rate = 0.05;
+        spec.duration_hours = spec.duration_hours.max(48);
+    } else {
+        spec.fault_mix
+            .retain(|(k, _)| !FaultKind::SERVICE_PROCESS.contains(k));
+        spec.buggify_rate = 0.0;
+        if !cell.calm && spec.fault_mix.is_empty() {
+            spec.fault_mix.push((FaultKind::ConsoleDead, 1.0));
+        }
+    }
     sanitize(spec);
 }
 
@@ -361,6 +393,7 @@ pub fn sanitize(spec: &mut ScenarioSpec) {
     if let RolloutDim::Staged { phases } = &mut spec.rollout {
         *phases = (*phases).clamp(1, Family::ALL.len());
     }
+    spec.buggify_rate = spec.buggify_rate.clamp(0.0, 0.25);
     spec.operator_capacity_per_week = spec.operator_capacity_per_week.clamp(0.5, 20.0);
     spec.operator_triage_hours = spec.operator_triage_hours.clamp(1, 96);
     if !CADENCE_MENU.contains(&spec.operator_cadence_hours) {
@@ -450,7 +483,9 @@ mod tests {
             .into_iter()
             .filter(|c| c.sites == 8)
             .collect();
-        assert_eq!(cells.len(), 18, "large-scale block is mode × rollout × regime");
+        // 18 large-scale cells (mode × rollout × regime) plus the 6
+        // eight-site service-chaos cells appended by this catalogue rev.
+        assert_eq!(cells.len(), 24, "eight-site block drifted");
         for cell in cells {
             let mut spec = ScenarioSpec::from_seed(21);
             pin_to_cell(&mut spec, cell, &mut rng);

@@ -135,6 +135,11 @@ pub struct CampaignDigest {
     pub injected_by_kind: Vec<(String, u64)>,
     /// Diagnostics attributed per fault kind — the detected half.
     pub detected_by_kind: Vec<(String, u64)>,
+    /// Per-service-kind process chaos counters `(kind name, crashes,
+    /// restarts, dropped calls)`, all-zero rows skipped — the process
+    /// layer's observables, so a liveness divergence between engines is
+    /// caught even when test totals happen to agree.
+    pub service_processes: Vec<(String, u64, u64, u64)>,
     /// Testbed-saturation episodes (rising edges at the sampling cadence).
     pub saturation_episodes: u64,
     /// Site-blackout episodes (rising edges at the sampling cadence).
@@ -212,6 +217,7 @@ impl CampaignDigest {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
+            service_processes: c.testbed().processes().counters_by_kind(),
             saturation_episodes: m.saturation_episodes,
             blackout_episodes: m.blackout_episodes,
             wake_reasons: c
@@ -259,6 +265,7 @@ impl CampaignDigest {
             co_allocations,
             injected_by_kind,
             detected_by_kind,
+            service_processes,
             saturation_episodes,
             blackout_episodes,
         )
@@ -404,6 +411,11 @@ pub fn coverage_for(kind: FaultKind) -> (Family, Target, usize, &'static str) {
         FaultKind::SitePowerOutage => (Family::OarState, site(), 1, "alpha"),
         FaultKind::SiteLinkPartition => (Family::Kavlan, Target::Global, 1, "alpha"),
         FaultKind::ClockSkew => (Family::Cmdline, site(), 1, "alpha"),
+        // A dead process refuses deterministically — one probe suffices.
+        FaultKind::ServiceCrash => (Family::Cmdline, site(), 1, "alpha"),
+        FaultKind::ServiceRestart => (Family::Cmdline, site(), 1, "alpha"),
+        // Loss is probabilistic (0.25/call), so allow a few probe rounds.
+        FaultKind::RpcDegraded => (Family::Cmdline, site(), 30, "alpha"),
     }
 }
 
@@ -454,10 +466,13 @@ pub fn detection_failure(
     let nodes = h.tb.cluster_by_name(cluster_name).unwrap().nodes.clone();
     let fault_target = match kind {
         FaultKind::CablingSwap => FaultTarget::NodePair(nodes[0], nodes[1]),
-        FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
+        FaultKind::ServiceFlaky
+        | FaultKind::ServiceDown
+        | FaultKind::ServiceCrash
+        | FaultKind::ServiceRestart => {
             FaultTarget::Service(h.tb.sites()[0].id, ServiceKind::KadeployServer)
         }
-        FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+        FaultKind::SitePowerOutage | FaultKind::ClockSkew | FaultKind::RpcDegraded => {
             // The site owning the declared cluster.
             FaultTarget::Site(h.tb.cluster_by_name(cluster_name).unwrap().site)
         }

@@ -19,7 +19,9 @@ use std::fmt;
 /// Format version of reproducer dumps. Bump when [`ScenarioSpec`] changes
 /// incompatibly; [`replay`] then reports the mismatch instead of dying on
 /// a field error deep inside the parse.
-pub const DUMP_VERSION: u32 = 1;
+///
+/// v2: `buggify_rate` joined the spec (killable service processes).
+pub const DUMP_VERSION: u32 = 2;
 
 /// The serialized envelope of a reproducer dump.
 #[derive(Serialize, Deserialize)]
@@ -172,10 +174,12 @@ fn shrink_pass(best: &mut ScenarioSpec, violation: &mut Violation, oracles: &Ora
     //    including collapsing the topology onto one site, which strips the
     //    whole multi-site dimension (federated placement, spillover,
     //    inter-site faults) when it is not what broke.
-    let reductions: [fn(&mut ScenarioSpec); 4] = [
+    let reductions: [fn(&mut ScenarioSpec); 5] = [
         |s| s.maintenance_per_day = 0.0,
         |s| s.initial_fault_burden = 0,
         |s| s.peak_jobs_per_day = 0.0,
+        // Disarm buggify: call-level chaos is noise unless it is the bug.
+        |s| s.buggify_rate = 0.0,
         |s| {
             for c in &mut s.clusters {
                 c.site = crate::grammar::site_name(0);

@@ -229,6 +229,53 @@ pub fn run_swarm(seeds: &[u64], oracles: &Oracles, shrink_failures: bool) -> Swa
     SwarmReport { outcomes }
 }
 
+/// Expand one seed and pin it into a service-chaos cell (round-robin over
+/// the catalogue's service-fault block), which arms all three
+/// service-process fault kinds plus a low buggify rate — the CI
+/// `service-chaos-smoke` mode. Seeds that fail shrink like any other.
+pub fn run_seed_service_chaos(
+    seed: u64,
+    oracles: &Oracles,
+    shrink_failures: bool,
+) -> ScenarioOutcome {
+    let cells: Vec<StructuralCell> = StructuralCell::all()
+        .into_iter()
+        .filter(|c| c.service_faults)
+        .collect();
+    let cell = cells[seed as usize % cells.len()];
+    let mut spec = ScenarioSpec::from_seed(seed);
+    pin_to_cell(&mut spec, cell, &mut stream_rng(seed, "swarm-service-chaos"));
+    let run = run_scenario(&spec, oracles);
+    let tests_run = run.tests_run();
+    let reproducer = if !run.violations.is_empty() && shrink_failures {
+        shrink(&spec, oracles)
+    } else {
+        None
+    };
+    ScenarioOutcome {
+        seed,
+        spec,
+        violations: run.violations,
+        reproducer,
+        tests_run,
+    }
+}
+
+/// The service-chaos counterpart of [`run_swarm`]: every seed runs with
+/// killed/restarting service processes, degraded RPC links and buggify
+/// armed.
+pub fn run_swarm_service_chaos(
+    seeds: &[u64],
+    oracles: &Oracles,
+    shrink_failures: bool,
+) -> SwarmReport {
+    let outcomes: Vec<ScenarioOutcome> = seeds
+        .par_iter()
+        .map(|&seed| run_seed_service_chaos(seed, oracles, shrink_failures))
+        .collect();
+    SwarmReport { outcomes }
+}
+
 /// The conventional seed block `base..base+n` a swarm sweeps.
 pub fn seed_block(base: u64, n: usize) -> Vec<u64> {
     (0..n as u64).map(|i| base + i).collect()

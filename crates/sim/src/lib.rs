@@ -19,13 +19,15 @@
 //! * [`stats`] — online mean/variance, histograms, percentiles, time series;
 //! * [`calendar`] — day/hour arithmetic, peak-hour windows, diurnal intensity;
 //! * [`backoff`] — the exponential-backoff retry policy of the paper's scheduler;
-//! * [`process`] — Poisson arrival processes and related samplers.
+//! * [`process`] — Poisson arrival processes and related samplers;
+//! * [`rpc`] — simulated process liveness, RPC envelopes, buggify.
 
 pub mod backoff;
 pub mod calendar;
 pub mod process;
 pub mod queue;
 pub mod rng;
+pub mod rpc;
 pub mod stats;
 pub mod time;
 
@@ -34,5 +36,6 @@ pub use calendar::{Calendar, HourRange, Weekday};
 pub use process::PoissonProcess;
 pub use queue::{DrainDue, EventQueue};
 pub use rng::{stream_rng, RngFactory};
+pub use rpc::{Buggify, LinkQuality, Liveness, RpcError};
 pub use stats::{Histogram, OnlineStats, PeriodSeries};
 pub use time::{SimDuration, SimTime};

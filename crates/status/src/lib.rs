@@ -10,6 +10,8 @@
 
 pub mod grid;
 pub mod history;
+pub mod services;
 
 pub use grid::{success_series, CellStatus, StatusGrid};
 pub use history::{sparkline, worst_targets, HistoryReport};
+pub use services::{ServiceRow, ServicesPanel};

@@ -6,12 +6,21 @@ use crate::report::{Diagnostic, TestReport};
 use std::collections::HashMap;
 use ttt_kavlan::{VlanKind, DEFAULT_VLAN};
 use ttt_kwapi::PowerSampler;
-use ttt_sim::SimDuration;
-use ttt_testbed::{ServiceKind, SiteId};
+use ttt_sim::{RpcError, SimDuration};
+use ttt_testbed::{CallFailure, ServiceKind, SiteId};
 
-/// Call one site service `attempts` times; emit a diagnostic if any call
-/// fails (all-fail → `service-down`, some-fail → `service-flaky`, matching
-/// the fault signatures).
+/// Call one site service `attempts` times through the RPC envelope and
+/// classify what came back:
+///
+/// * every call refused → `service-crash` (the *process* is gone — a
+///   crashed or restarting daemon, not a sick one);
+/// * every call reached the service and failed → `service-down` (the
+///   legacy health signature);
+/// * a mix of failures → `service-flaky` (health flakiness, buggify
+///   perturbations and partial refusals all blend into this noise);
+/// * any call dropped on the wire → additionally `rpc-degraded` against
+///   the site, since a lossy link is a site-level condition, not the
+///   service's fault.
 fn probe_service(
     ctx: &mut TestCtx,
     site: SiteId,
@@ -19,21 +28,37 @@ fn probe_service(
     attempts: u32,
     diagnostics: &mut Vec<Diagnostic>,
 ) {
-    let mut failures = 0;
+    let mut refused = 0;
+    let mut dropped = 0;
+    let mut sick = 0;
     for _ in 0..attempts {
-        if ctx.tb.service_mut(site, kind).call(ctx.rng).is_err() {
-            failures += 1;
+        match ctx.tb.service_call(site, kind, ctx.rng) {
+            Ok(_) => {}
+            Err(CallFailure::Rpc(RpcError::Refused)) => refused += 1,
+            Err(CallFailure::Rpc(RpcError::Dropped)) => dropped += 1,
+            Err(CallFailure::Service(_)) => sick += 1,
         }
     }
-    if failures == attempts {
+    if refused == attempts {
+        diagnostics.push(Diagnostic::new(
+            format!("service-crash@{site}/{kind}"),
+            format!("{kind} on {site}: connection refused on all {attempts} attempts — the process is down"),
+        ));
+    } else if sick == attempts {
         diagnostics.push(Diagnostic::new(
             format!("service-down@{site}/{kind}"),
-            format!("{kind} on {site}: {failures}/{attempts} calls failed"),
+            format!("{kind} on {site}: {sick}/{attempts} calls failed"),
         ));
-    } else if failures > 0 {
+    } else if refused + sick > 0 {
         diagnostics.push(Diagnostic::new(
             format!("service-flaky@{site}/{kind}"),
-            format!("{kind} on {site}: {failures}/{attempts} calls failed"),
+            format!("{kind} on {site}: {n}/{attempts} calls failed", n = refused + sick),
+        ));
+    }
+    if dropped > 0 {
+        diagnostics.push(Diagnostic::new(
+            format!("rpc-degraded@{site}"),
+            format!("{kind} on {site}: {dropped}/{attempts} calls lost on the wire"),
         ));
     }
 }
@@ -60,6 +85,18 @@ pub fn oarstate(site: &str, ctx: &mut TestCtx) -> TestReport {
             diagnostics.push(Diagnostic::new(
                 format!("site-power-outage@{}", peer.id),
                 format!("{}: every node unreachable — the site lost power", peer.name),
+            ));
+        } else if !ctx.tb.process_up(peer.id, ServiceKind::OarServer) {
+            // Powered site, dead scheduler process: the opposite corner of
+            // the availability matrix from a blackout. The distinction
+            // matters — an outage repair crew is the wrong fix for a
+            // daemon that needs restarting, and vice versa.
+            diagnostics.push(Diagnostic::new(
+                format!("service-crash@{}/{}", peer.id, ServiceKind::OarServer),
+                format!(
+                    "{}: site is powered but its OAR server refuses connections",
+                    peer.name
+                ),
             ));
         }
     }

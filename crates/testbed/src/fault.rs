@@ -72,11 +72,27 @@ pub enum FaultKind {
     SiteLinkPartition,
     /// A site's clock drifted away from the federation's NTP reference.
     ClockSkew,
+    /// A service *process* halted outright: calls are refused (connection
+    /// refused, not an unhealthy reply) until an operator repair restarts
+    /// it. Distinct from [`FaultKind::ServiceDown`], which models broken
+    /// service logic on a running process.
+    ServiceCrash,
+    /// A service process went down for a bounded restart window; the
+    /// campaign driver completes the restart on its own (the restart
+    /// instant is a wake term).
+    ServiceRestart,
+    /// A site's service links degraded: every enveloped call into the site
+    /// gains latency and may be dropped.
+    RpcDegraded,
 }
 
 impl FaultKind {
-    /// All kinds, in a stable order.
-    pub const ALL: [FaultKind; 20] = [
+    /// All kinds, in a stable order. The first [`FaultKind::LEGACY`] are
+    /// the pre-process-layer catalogue; scenario expansion from a bare seed
+    /// draws only from that prefix (appending kinds must never shift an
+    /// existing seed's draws), so the service-process kinds enter scenarios
+    /// via frontier cells and mutation only.
+    pub const ALL: [FaultKind; 23] = [
         FaultKind::DiskWriteCacheDrift,
         FaultKind::DiskFirmwareDrift,
         FaultKind::CpuCStatesDrift,
@@ -97,14 +113,31 @@ impl FaultKind {
         FaultKind::SitePowerOutage,
         FaultKind::SiteLinkPartition,
         FaultKind::ClockSkew,
+        FaultKind::ServiceCrash,
+        FaultKind::ServiceRestart,
+        FaultKind::RpcDegraded,
     ];
 
+    /// How many kinds predate the service-process layer (the prefix of
+    /// [`FaultKind::ALL`] that bare-seed scenario expansion draws from).
+    pub const LEGACY: usize = 20;
+
     /// The site-scoped kinds (target whole sites or inter-site links, not
-    /// individual nodes or services).
+    /// individual nodes or services). Deliberately excludes
+    /// [`FaultKind::RpcDegraded`]: growing this list would change how
+    /// existing fuzzer cells pin site faults.
     pub const SITE_SCOPED: [FaultKind; 3] = [
         FaultKind::SitePowerOutage,
         FaultKind::SiteLinkPartition,
         FaultKind::ClockSkew,
+    ];
+
+    /// The service-process kinds introduced with the simulated process
+    /// layer (killable processes + degraded service links).
+    pub const SERVICE_PROCESS: [FaultKind; 3] = [
+        FaultKind::ServiceCrash,
+        FaultKind::ServiceRestart,
+        FaultKind::RpcDegraded,
     ];
 
     /// Short stable name used in bug signatures.
@@ -130,6 +163,9 @@ impl FaultKind {
             FaultKind::SitePowerOutage => "site-power-outage",
             FaultKind::SiteLinkPartition => "site-link-partition",
             FaultKind::ClockSkew => "clock-skew",
+            FaultKind::ServiceCrash => "service-crash",
+            FaultKind::ServiceRestart => "service-restart",
+            FaultKind::RpcDegraded => "rpc-degraded",
         }
     }
 
@@ -143,6 +179,9 @@ impl FaultKind {
                 | FaultKind::SitePowerOutage
                 | FaultKind::SiteLinkPartition
                 | FaultKind::ClockSkew
+                | FaultKind::ServiceCrash
+                | FaultKind::ServiceRestart
+                | FaultKind::RpcDegraded
         )
     }
 
@@ -247,6 +286,9 @@ impl Default for InjectorConfig {
                 (FaultKind::SitePowerOutage, 0.01),
                 (FaultKind::SiteLinkPartition, 0.02),
                 (FaultKind::ClockSkew, 0.03),
+                (FaultKind::ServiceCrash, 0.02),
+                (FaultKind::ServiceRestart, 0.04),
+                (FaultKind::RpcDegraded, 0.03),
             ],
             maintenance_per_day: 0.10,
             maintenance_spread: 6,
@@ -429,12 +471,15 @@ pub fn inject_random<R: Rng>(
             pick.shuffle(rng);
             FaultTarget::NodePair(pick[0], pick[1])
         }
-        FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
+        FaultKind::ServiceFlaky
+        | FaultKind::ServiceDown
+        | FaultKind::ServiceCrash
+        | FaultKind::ServiceRestart => {
             let site = SiteId((rng.gen_range(0..tb.sites().len())) as u16);
             let svc = *ServiceKind::ALL.choose(rng).unwrap();
             FaultTarget::Service(site, svc)
         }
-        FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+        FaultKind::SitePowerOutage | FaultKind::ClockSkew | FaultKind::RpcDegraded => {
             let site = SiteId((rng.gen_range(0..tb.sites().len())) as u16);
             FaultTarget::Site(site)
         }

@@ -18,6 +18,7 @@ pub mod hardware;
 pub mod ids;
 pub mod node;
 pub mod perf;
+pub mod process;
 pub mod services;
 pub mod site;
 pub mod testbed;
@@ -33,7 +34,8 @@ pub use hardware::{
 };
 pub use ids::{ClusterId, NodeId, PduId, SiteId, SwitchId};
 pub use node::{Node, NodeCondition};
+pub use process::{ProcessEntry, ProcessRegistry, ServiceId};
 pub use services::{Service, ServiceError, ServiceKind};
 pub use site::Site;
-pub use testbed::Testbed;
+pub use testbed::{CallFailure, Testbed, SERVICE_RESTART_WINDOW};
 pub use validate::validate;

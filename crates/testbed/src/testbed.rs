@@ -6,10 +6,40 @@ use crate::fault::{Fault, FaultId, FaultKind, FaultTarget};
 use crate::hardware::NodeHardware;
 use crate::ids::{ClusterId, NodeId, SiteId};
 use crate::node::Node;
-use crate::services::{Service, ServiceHealth, ServiceKind};
+use crate::process::ProcessRegistry;
+use crate::services::{Service, ServiceError, ServiceHealth, ServiceKind};
 use crate::site::Site;
 use crate::topology::Topology;
-use ttt_sim::SimTime;
+use rand::Rng;
+use std::fmt;
+use ttt_sim::rpc::{Buggify, LinkQuality, RpcError};
+use ttt_sim::{SimDuration, SimTime};
+
+/// How long a `ServiceRestart` fault keeps its process down before the
+/// campaign driver auto-repairs it (the restart completing *is* the repair).
+pub const SERVICE_RESTART_WINDOW: SimDuration = SimDuration::from_mins(30);
+
+/// How an enveloped service call fails: either the RPC layer never reached
+/// the process (refused/dropped), or the process answered and its service
+/// logic failed (down/flaky health, injected chaos).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallFailure {
+    /// The envelope failed before the service logic ran.
+    Rpc(RpcError),
+    /// The service logic itself failed.
+    Service(ServiceError),
+}
+
+impl fmt::Display for CallFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallFailure::Rpc(e) => write!(f, "{e}"),
+            CallFailure::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallFailure {}
 
 /// The whole simulated testbed.
 ///
@@ -38,6 +68,15 @@ pub struct Testbed {
     /// successfully applied, repaired or not. The coverage-guided fuzzer's
     /// behavioral signature reads this ledger (injected × detected kinds).
     injected: [u64; FaultKind::ALL.len()],
+    /// The simulated service processes (one per site × [`ServiceKind`]),
+    /// each pinned to a host node with killable liveness.
+    processes: ProcessRegistry,
+    /// `rpc_degrade[site]` — link quality applied to every enveloped call
+    /// into that site while an `RpcDegraded` fault is active.
+    rpc_degrade: Vec<Option<LinkQuality>>,
+    /// The buggify switch for IO-shaped callsites, off unless the campaign
+    /// config arms it.
+    buggify: Buggify,
 }
 
 impl Testbed {
@@ -53,10 +92,18 @@ impl Testbed {
             .map(|_| ServiceKind::ALL.iter().map(|&k| Service::healthy(k)).collect())
             .collect();
         let n_sites = sites.len();
+        // Each service process is pinned to its site's first node — pure
+        // identity metadata (host death is a separate fault axis).
+        let processes = ProcessRegistry::new(n_sites, |s| {
+            nodes.iter().find(|n| n.site.index() == s).map(|n| n.id)
+        });
         Testbed {
             site_power: vec![true; n_sites],
             clock_skew_s: vec![0.0; n_sites],
             injected: [0; FaultKind::ALL.len()],
+            processes,
+            rpc_degrade: vec![None; n_sites],
+            buggify: Buggify::off(),
             sites,
             clusters,
             nodes,
@@ -178,6 +225,100 @@ impl Testbed {
         &mut self.services[site.index()][idx]
     }
 
+    /// The service-process registry (read-only view).
+    pub fn processes(&self) -> &ProcessRegistry {
+        &self.processes
+    }
+
+    /// Whether the process serving `kind` at `site` is listening.
+    pub fn process_up(&self, site: SiteId, kind: ServiceKind) -> bool {
+        self.processes.is_up(site, kind)
+    }
+
+    /// Link quality currently degrading calls into `site`, if any.
+    pub fn rpc_quality(&self, site: SiteId) -> Option<LinkQuality> {
+        self.rpc_degrade[site.index()]
+    }
+
+    /// Arm (or disarm) the buggify switch. The campaign driver sets this
+    /// once from its config before the first step.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
+    }
+
+    /// The buggify switch, for subsystems that inject at their own
+    /// callsites (CI assignment, deployment rounds).
+    pub fn buggify(&self) -> Buggify {
+        self.buggify
+    }
+
+    /// Route one service call through the RPC envelope: liveness first
+    /// (a dead process refuses — no draw), then link loss on a degraded
+    /// site (one draw), then the buggify hook (one draw when armed), then
+    /// the service's own health logic. `Ok` carries the extra envelope
+    /// latency in seconds (0.0 on a healthy link).
+    ///
+    /// Draw counts depend only on fault state and the buggify arm — both
+    /// identical across engines for the same scenario — so the stream
+    /// stays engine-equivalent.
+    pub fn service_call<R: Rng>(
+        &mut self,
+        site: SiteId,
+        kind: ServiceKind,
+        rng: &mut R,
+    ) -> Result<f64, CallFailure> {
+        if !self.processes.is_up(site, kind) {
+            self.processes.note_lost_call(site, kind);
+            return Err(CallFailure::Rpc(RpcError::Refused));
+        }
+        let mut latency = 0.0;
+        if let Some(q) = self.rpc_degrade[site.index()] {
+            latency += q.latency_s;
+            if rng.gen_bool(q.loss_prob.clamp(0.0, 1.0)) {
+                self.processes.note_lost_call(site, kind);
+                return Err(CallFailure::Rpc(RpcError::Dropped));
+            }
+        }
+        if self.buggify.fire(rng) {
+            // Injected chaos surfaces as a transient service error so it
+            // blends into flaky noise rather than fabricating a crash or
+            // degraded-link signature.
+            return Err(CallFailure::Service(ServiceError::Transient(format!(
+                "buggify: {kind} call perturbed"
+            ))));
+        }
+        self.service_mut(site, kind)
+            .call(rng)
+            .map(|()| latency)
+            .map_err(CallFailure::Service)
+    }
+
+    /// The earliest scheduled process-restart instant — a campaign wake
+    /// term (`ServiceRestart` downtime windows end on their own).
+    pub fn next_service_restart(&self) -> Option<SimTime> {
+        self.processes.next_restart()
+    }
+
+    /// Active `ServiceRestart` faults whose downtime window has elapsed by
+    /// `now`, in fault-id order. The campaign driver repairs exactly these
+    /// each step (the restart completing *is* the repair).
+    pub fn due_service_restarts(&self, now: SimTime) -> Vec<FaultId> {
+        self.active
+            .iter()
+            .filter(|f| f.kind == FaultKind::ServiceRestart)
+            .filter(|f| match f.target {
+                FaultTarget::Service(site, svc) => self
+                    .processes
+                    .entry(site, svc)
+                    .state
+                    .restart_at()
+                    .is_some_and(|at| at <= now),
+                _ => false,
+            })
+            .map(|f| f.id)
+            .collect()
+    }
+
     /// Currently active (unrepaired) faults.
     pub fn active_faults(&self) -> &[Fault] {
         &self.active
@@ -230,7 +371,7 @@ impl Testbed {
             FaultTarget::SiteLink(a, b) if a > b => FaultTarget::SiteLink(b, a),
             other => other,
         };
-        if !self.apply_effect(kind, target) {
+        if !self.apply_effect(kind, target, at) {
             return None;
         }
         let fault = Fault {
@@ -261,7 +402,8 @@ impl Testbed {
     }
 
     /// Mutate the testbed according to `kind`; returns false for no-ops.
-    fn apply_effect(&mut self, kind: FaultKind, target: FaultTarget) -> bool {
+    /// `at` is the injection instant (only the restart window reads it).
+    fn apply_effect(&mut self, kind: FaultKind, target: FaultTarget, at: SimTime) -> bool {
         match (kind, target) {
             (FaultKind::DiskWriteCacheDrift, FaultTarget::Node(n)) => {
                 let r = self.reference_of(n).disks.first().map(|d| d.write_cache);
@@ -430,6 +572,22 @@ impl Testbed {
                     false
                 }
             }
+            (FaultKind::ServiceCrash, FaultTarget::Service(site, svc)) => {
+                site.index() < self.sites.len() && self.processes.crash(site, svc)
+            }
+            (FaultKind::ServiceRestart, FaultTarget::Service(site, svc)) => {
+                site.index() < self.sites.len()
+                    && self
+                        .processes
+                        .schedule_restart(site, svc, at + SERVICE_RESTART_WINDOW)
+            }
+            (FaultKind::RpcDegraded, FaultTarget::Site(s)) => {
+                if s.index() >= self.sites.len() || self.rpc_degrade[s.index()].is_some() {
+                    return false;
+                }
+                self.rpc_degrade[s.index()] = Some(LinkQuality::degraded());
+                true
+            }
             (FaultKind::NodeDead, FaultTarget::Node(n)) => {
                 let node = &mut self.nodes[n.index()];
                 if node.condition.alive {
@@ -481,6 +639,15 @@ impl Testbed {
             }
             (FaultKind::ServiceFlaky | FaultKind::ServiceDown, FaultTarget::Service(site, svc)) => {
                 self.service_mut(site, svc).health = ServiceHealth::Healthy;
+            }
+            (
+                FaultKind::ServiceCrash | FaultKind::ServiceRestart,
+                FaultTarget::Service(site, svc),
+            ) => {
+                self.processes.mark_up(site, svc);
+            }
+            (FaultKind::RpcDegraded, FaultTarget::Site(s)) => {
+                self.rpc_degrade[s.index()] = None;
             }
             (FaultKind::SitePowerOutage, FaultTarget::Site(s)) => {
                 self.site_power[s.index()] = true;
@@ -669,6 +836,123 @@ mod tests {
             tb.service(site, ServiceKind::ApiFrontend).health,
             ServiceHealth::Healthy
         ));
+    }
+
+    #[test]
+    fn service_crash_refuses_calls_until_repair() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let mut rng = ttt_sim::rng::stream_rng(1, "svc-call");
+        assert!(tb.service_call(site, ServiceKind::OarServer, &mut rng).is_ok());
+        let f = tb
+            .apply_fault(
+                FaultKind::ServiceCrash,
+                FaultTarget::Service(site, ServiceKind::OarServer),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(f.signature(), format!("service-crash@{site}/oar-server"));
+        assert!(!tb.process_up(site, ServiceKind::OarServer));
+        // The crash kills the process, not the service health, and not the
+        // site: a crashed OAR process must never masquerade as a blackout.
+        assert!(tb.site_powered(site));
+        assert!(matches!(
+            tb.service(site, ServiceKind::OarServer).health,
+            ServiceHealth::Healthy
+        ));
+        assert_eq!(
+            tb.service_call(site, ServiceKind::OarServer, &mut rng),
+            Err(CallFailure::Rpc(RpcError::Refused))
+        );
+        // No scheduled restart: a crash waits for an operator repair.
+        assert!(tb.next_service_restart().is_none());
+        // Double crash is a no-op.
+        assert!(tb
+            .apply_fault(
+                FaultKind::ServiceCrash,
+                FaultTarget::Service(site, ServiceKind::OarServer),
+                SimTime::ZERO,
+            )
+            .is_none());
+        assert!(tb.repair(f.id));
+        assert!(tb.process_up(site, ServiceKind::OarServer));
+        assert!(tb.service_call(site, ServiceKind::OarServer, &mut rng).is_ok());
+        let entry = tb.processes().entry(site, ServiceKind::OarServer);
+        assert_eq!((entry.crashes, entry.restarts, entry.dropped_calls), (1, 1, 1));
+    }
+
+    #[test]
+    fn service_restart_schedules_its_own_repair() {
+        let mut tb = tb();
+        let site = tb.sites()[1].id;
+        let at = SimTime::from_hours(2);
+        let f = tb
+            .apply_fault(
+                FaultKind::ServiceRestart,
+                FaultTarget::Service(site, ServiceKind::KadeployServer),
+                at,
+            )
+            .unwrap();
+        assert!(!tb.process_up(site, ServiceKind::KadeployServer));
+        let due_at = at + SERVICE_RESTART_WINDOW;
+        assert_eq!(tb.next_service_restart(), Some(due_at));
+        // Not due before the window elapses, due exactly at it.
+        assert!(tb.due_service_restarts(at).is_empty());
+        assert_eq!(tb.due_service_restarts(due_at), vec![f.id]);
+        assert!(tb.repair(f.id));
+        assert!(tb.process_up(site, ServiceKind::KadeployServer));
+        assert!(tb.next_service_restart().is_none());
+    }
+
+    #[test]
+    fn rpc_degraded_adds_latency_and_loss() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let mut rng = ttt_sim::rng::stream_rng(3, "svc-call");
+        let f = tb
+            .apply_fault(FaultKind::RpcDegraded, FaultTarget::Site(site), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(f.signature(), format!("rpc-degraded@{site}"));
+        let q = tb.rpc_quality(site).unwrap();
+        let mut dropped = 0u32;
+        for _ in 0..400 {
+            match tb.service_call(site, ServiceKind::ApiFrontend, &mut rng) {
+                Ok(latency) => assert_eq!(latency, q.latency_s),
+                Err(CallFailure::Rpc(RpcError::Dropped)) => dropped += 1,
+                Err(other) => panic!("unexpected failure {other:?}"),
+            }
+        }
+        let ratio = f64::from(dropped) / 400.0;
+        assert!((0.15..0.35).contains(&ratio), "loss ratio {ratio}");
+        assert_eq!(
+            tb.processes().entry(site, ServiceKind::ApiFrontend).dropped_calls,
+            u64::from(dropped)
+        );
+        // Double degradation is a no-op; repair restores a clean link.
+        assert!(tb
+            .apply_fault(FaultKind::RpcDegraded, FaultTarget::Site(site), SimTime::ZERO)
+            .is_none());
+        assert!(tb.repair(f.id));
+        assert!(tb.rpc_quality(site).is_none());
+        assert_eq!(tb.service_call(site, ServiceKind::ApiFrontend, &mut rng), Ok(0.0));
+    }
+
+    #[test]
+    fn buggify_perturbs_calls_as_transient_noise() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let mut rng = ttt_sim::rng::stream_rng(4, "svc-call");
+        tb.set_buggify(ttt_sim::Buggify::new(4, 0.3));
+        let mut transients = 0u32;
+        for _ in 0..400 {
+            match tb.service_call(site, ServiceKind::ConsoleServer, &mut rng) {
+                Ok(_) => {}
+                Err(CallFailure::Service(ServiceError::Transient(_))) => transients += 1,
+                Err(other) => panic!("buggify must look transient, got {other:?}"),
+            }
+        }
+        let ratio = f64::from(transients) / 400.0;
+        assert!((0.2..0.4).contains(&ratio), "buggify ratio {ratio}");
     }
 
     #[test]

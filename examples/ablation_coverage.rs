@@ -39,6 +39,9 @@ fn owning_family(kind: FaultKind) -> (Family, Target) {
         ConsoleDead => cluster(Family::Console),
         VlanPortStuck => site(Family::Kavlan),
         ServiceFlaky | ServiceDown => site(Family::Cmdline),
+        // Killed processes and degraded RPC links surface on the same
+        // command-line probes as flaky services do.
+        ServiceCrash | ServiceRestart | RpcDegraded => site(Family::Cmdline),
         NodeDead | SitePowerOutage => site(Family::OarState),
         ClockSkew => site(Family::Cmdline),
         SiteLinkPartition => (Family::Kavlan, Target::Global),
@@ -89,10 +92,13 @@ fn main() {
         let nodes = w.tb.cluster_by_name(&cluster_name).unwrap().nodes.clone();
         let fault_target = match kind {
             FaultKind::CablingSwap => FaultTarget::NodePair(nodes[0], nodes[1]),
-            FaultKind::ServiceFlaky | FaultKind::ServiceDown => {
+            FaultKind::ServiceFlaky
+            | FaultKind::ServiceDown
+            | FaultKind::ServiceCrash
+            | FaultKind::ServiceRestart => {
                 FaultTarget::Service(w.tb.sites()[0].id, ServiceKind::KadeployServer)
             }
-            FaultKind::SitePowerOutage | FaultKind::ClockSkew => {
+            FaultKind::SitePowerOutage | FaultKind::ClockSkew | FaultKind::RpcDegraded => {
                 FaultTarget::Site(w.tb.sites()[0].id)
             }
             FaultKind::SiteLinkPartition => {

@@ -47,4 +47,7 @@ fn main() {
     for (day, mean) in series.means() {
         println!("  day {:>2}: {:>5.1}%", day + 1, mean * 100.0);
     }
+
+    println!("\n== service processes (daemon liveness + chaos ledger) ==");
+    println!("{}", campaign.services_panel().render());
 }

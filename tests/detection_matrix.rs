@@ -201,3 +201,24 @@ fn site_link_partition_detected_by_global_kavlan() {
 fn clock_skew_detected_by_cmdline() {
     assert_detected(FaultKind::ClockSkew, Family::Cmdline, site(), 1);
 }
+
+// The service-process kinds. A crashed or restarting process refuses
+// every connection, so the cmdline probes see an all-`Refused` batch and
+// the detection is deterministic — one run suffices. Degraded RPC drops
+// calls probabilistically (loss 0.25 per call), so it gets a retry
+// budget like the other stochastic kinds.
+
+#[test]
+fn crashed_service_process_detected_by_cmdline() {
+    assert_detected(FaultKind::ServiceCrash, Family::Cmdline, site(), 1);
+}
+
+#[test]
+fn restarting_service_process_detected_by_cmdline() {
+    assert_detected(FaultKind::ServiceRestart, Family::Cmdline, site(), 1);
+}
+
+#[test]
+fn degraded_rpc_link_detected_by_cmdline() {
+    assert_detected(FaultKind::RpcDegraded, Family::Cmdline, site(), 30);
+}

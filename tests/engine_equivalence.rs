@@ -101,21 +101,30 @@ fn forced_co_allocation_identical_across_engines() {
 }
 
 /// The worker-count sweep: ParallelSite must be bit-identical to
-/// NextEvent at every `RAYON_NUM_THREADS`, across 32 seeds. On a machine
+/// NextEvent at every `RAYON_NUM_THREADS`, across 32 seeds — with the
+/// service-process chaos armed (the default injector mix includes
+/// crash/restart/RPC-degradation arrivals, and buggify runs at a low
+/// rate), since process liveness and buggified callsites are exactly the
+/// state the sharded engine must keep in canonical order. On a machine
 /// with few cores the higher counts collapse to the same pool width —
 /// the CI matrix re-runs this whole binary under `RAYON_NUM_THREADS=1`
 /// and `=16` to force both extremes regardless of the host.
 #[test]
 fn parallel_site_is_thread_count_invariant_across_32_seeds() {
+    let cfg = |seed| {
+        let mut c = CampaignConfig::small(seed);
+        c.buggify_rate = 0.02;
+        c
+    };
     let references: Vec<CampaignDigest> = (1..=32)
-        .map(|seed| run(CampaignConfig::small(seed), Engine::NextEvent))
+        .map(|seed| run(cfg(seed), Engine::NextEvent))
         .collect();
     let saved = std::env::var("RAYON_NUM_THREADS").ok();
     for threads in ["1", "4", "16"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
         for (i, reference) in references.iter().enumerate() {
             let seed = i as u64 + 1;
-            let parallel = run(CampaignConfig::small(seed), Engine::ParallelSite);
+            let parallel = run(cfg(seed), Engine::ParallelSite);
             assert_equivalent(
                 reference,
                 &parallel,
@@ -126,6 +135,35 @@ fn parallel_site_is_thread_count_invariant_across_32_seeds() {
     match saved {
         Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
         None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}
+
+/// Heavy service chaos, three ways: a multi-site campaign where the
+/// service-process kinds arrive several times a day and buggify fires at
+/// a high rate must still be bit-identical across all three engines —
+/// crash/restart applications draw RNG (sequential at the barrier), the
+/// restart wake term must fire at the same instants, and the hashed
+/// buggify decisions must not depend on engine interleaving. The digest
+/// includes the per-service chaos ledger, so a single divergent dropped
+/// call fails the diff.
+#[test]
+fn service_chaos_identical_across_engines() {
+    use throughout::testbed::FaultKind;
+    for seed in [5, 77] {
+        let mut cfg = throughout::core::scenario::grid_of_grids_scenario(seed, 3);
+        cfg.duration = SimDuration::from_days(3);
+        cfg.buggify_rate = 0.10;
+        for (kind, rate) in &mut cfg.injector.rates_per_day {
+            if FaultKind::SERVICE_PROCESS.contains(kind) {
+                *rate = 3.0;
+            }
+        }
+        let event = assert_three_way(cfg, &format!("service chaos seed {seed}"));
+        assert!(event.tests_run > 0, "seed {seed} ran nothing");
+        assert!(
+            !event.service_processes.is_empty(),
+            "seed {seed}: chaos ledger stayed empty at 3 arrivals/day"
+        );
     }
 }
 

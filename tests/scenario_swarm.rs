@@ -59,14 +59,41 @@ fn grammar_covers_its_dimensions() {
     assert!(specs.iter().any(|s| s.site_count() == 1));
     assert!(specs.iter().any(|s| s.site_count() >= 3));
     assert!(specs.iter().any(ScenarioSpec::has_site_faults));
-    // Every fault kind appears in some scenario's mix.
-    for kind in throughout::testbed::FaultKind::ALL {
+    // Every legacy fault kind appears in some scenario's mix; bare-seed
+    // expansion is append-frozen, so the service-process kinds must NOT
+    // appear here — they are reachable only through the service-chaos
+    // cells and the ToggleFaultKind mutator.
+    use throughout::testbed::FaultKind;
+    for kind in &FaultKind::ALL[..FaultKind::LEGACY] {
         assert!(
             specs
                 .iter()
-                .any(|s| s.fault_mix.iter().any(|&(k, _)| k == kind)),
+                .any(|s| s.fault_mix.iter().any(|&(k, _)| k == *kind)),
             "{kind} never generated"
         );
+    }
+    for kind in FaultKind::SERVICE_PROCESS {
+        assert!(
+            !specs
+                .iter()
+                .any(|s| s.fault_mix.iter().any(|&(k, _)| k == kind)),
+            "{kind} leaked into bare-seed expansion (append-only discipline)"
+        );
+    }
+    assert!(specs.iter().all(|s| s.buggify_rate == 0.0));
+    // The service-chaos dimension is reachable by pinning a frontier cell.
+    use throughout::scengen::{pin_to_cell, StructuralCell};
+    use throughout::sim::rng::stream_rng;
+    let cell = StructuralCell::all()
+        .into_iter()
+        .find(|c| c.service_faults)
+        .expect("service-chaos cells exist");
+    let mut spec = ScenarioSpec::from_seed(5);
+    pin_to_cell(&mut spec, cell, &mut stream_rng(23, "swarm-service-cell"));
+    assert!(spec.has_service_faults());
+    assert!(spec.buggify_rate > 0.0);
+    for kind in FaultKind::SERVICE_PROCESS {
+        assert!(spec.fault_mix.iter().any(|&(k, _)| k == kind), "{kind} not pinned");
     }
 }
 
@@ -216,6 +243,7 @@ fn eight_site_scenario_passes_every_oracle() {
         sites: 8,
         site_faults: true,
         calm: false,
+        service_faults: false,
     };
     pin_to_cell(&mut spec, cell, &mut rng);
     assert_eq!(spec.site_count(), 8);
@@ -225,6 +253,99 @@ fn eight_site_scenario_passes_every_oracle() {
     let run = run_scenario(&spec, &Oracles::default());
     assert!(run.violations.is_empty(), "eight-site scenario failed: {:?}", run.violations);
     assert!(run.tests_run() > 0, "scenario ran no tests");
+}
+
+/// The service-chaos acceptance scenario: a ≥3-site grid whose Kadeploy
+/// (and sibling) server processes crash, restart and lose RPC calls
+/// mid-campaign, with buggify armed — the "kadeploy server on site 3
+/// crashed mid-deployment" class as a first-class generated scenario. It
+/// must pass all three oracles: the engines bit-identical (process
+/// crash/restart draws and buggify decisions replay across NextEvent,
+/// Lockstep and the sharded ParallelSite), every diagnosed service fault
+/// resolvable by the matrix, and conservation intact. The campaign must
+/// actually exercise the dimension: service-crash bugs filed and the
+/// digest's per-service chaos ledger non-empty.
+#[test]
+fn service_chaos_scenario_on_multi_site_grid_passes_every_oracle() {
+    use throughout::scengen::{pin_to_cell, StructuralCell};
+    use throughout::sim::rng::stream_rng;
+    use throughout::testbed::FaultKind;
+    let cell = StructuralCell::all()
+        .into_iter()
+        .find(|c| c.service_faults && c.sites == 8 && c.mode == 0 && c.rollout == 0)
+        .expect("eight-site service-chaos cell exists");
+    let mut spec = ScenarioSpec::from_seed(41);
+    pin_to_cell(&mut spec, cell, &mut stream_rng(29, "swarm-service-accept"));
+    assert!(spec.site_count() >= 3, "the acceptance grid spans ≥3 sites");
+    assert!(spec.has_service_faults());
+    assert!(spec.buggify_rate > 0.0, "buggify must be armed");
+    for kind in FaultKind::SERVICE_PROCESS {
+        assert!(spec.fault_mix.iter().any(|&(k, _)| k == kind));
+    }
+    spec.duration_hours = spec.duration_hours.min(48);
+
+    let run = run_scenario(&spec, &Oracles::default());
+    assert!(run.violations.is_empty(), "service-chaos scenario failed: {:?}", run.violations);
+    assert!(run.tests_run() > 0, "scenario ran no tests");
+
+    let campaign =
+        throughout::scengen::oracle::run_campaign(&spec, throughout::core::Engine::NextEvent);
+    let service_bugs = campaign
+        .tracker()
+        .bugs()
+        .iter()
+        .filter(|b| {
+            b.signature.starts_with("service-crash@")
+                || b.signature.starts_with("rpc-degraded@")
+        })
+        .count();
+    assert!(
+        service_bugs > 0,
+        "no service-process bug filed over {} h with service fault rates active",
+        spec.duration_hours
+    );
+    let digest = throughout::scengen::CampaignDigest::capture(&campaign);
+    assert!(
+        !digest.service_processes.is_empty(),
+        "the digest's per-service chaos ledger stayed empty"
+    );
+}
+
+/// The service-fault shrink regression: a violation inside a fully armed
+/// service-chaos scenario (three service kinds + buggify + a fault-mix
+/// tail) must shrink to a reproducer with at most two fault kinds and
+/// buggify disarmed — the shrinker's service pruning at work — and the
+/// dump must replay the violation from tier-1.
+#[test]
+fn service_chaos_violation_shrinks_to_minimal_reproducer() {
+    use throughout::scengen::run_seed_service_chaos;
+    let oracles = Oracles {
+        // The trip wire stands in for a real invariant violation; the
+        // expensive oracles stay off so the probe budget goes to shrinking.
+        tests_run_limit: Some(40),
+        ..Oracles::none()
+    };
+    let outcome = run_seed_service_chaos(20005, &oracles, true);
+    assert!(
+        !outcome.passed(),
+        "seed 20005 must trip the 40-test limit (ran {})",
+        outcome.tests_run
+    );
+    assert!(outcome.spec.has_service_faults(), "the chaos dimensions were armed");
+
+    let repro = outcome.reproducer.expect("failure must shrink");
+    assert!(
+        repro.spec.fault_mix.len() <= 2,
+        "service faults not pruned: {} kinds survive",
+        repro.spec.fault_mix.len()
+    );
+    assert_eq!(repro.spec.buggify_rate, 0.0, "shrink must disarm buggify");
+    assert!(repro.spec.duration_hours < outcome.spec.duration_hours);
+
+    // The dump replays as a one-liner and still violates.
+    let violations = replay(&repro.dump, &oracles).expect("dump is current-version");
+    assert_eq!(violations, vec![repro.violation.clone()]);
+    assert_eq!(throughout::scengen::parse_dump(&repro.dump).unwrap(), repro.spec);
 }
 
 /// A spec that violates nothing does not shrink into a reproducer.
