@@ -30,7 +30,7 @@ use ttt_oar::{
     UserLoadGenerator,
 };
 use ttt_refapi::RefApi;
-use ttt_sim::{EventQueue, RngFactory, SimDuration, SimTime};
+use ttt_sim::{Event, EventLog, EventQueue, RngFactory, SimDuration, SimTime};
 use ttt_status::StatusGrid;
 use ttt_suite::{build_suite, run_test, TestConfig, TestCtx, TestReport};
 use ttt_testbed::fault::inject_random;
@@ -141,6 +141,12 @@ pub struct Campaign {
     /// Whether the last sample saw a blacked-out site (edge detector for
     /// `metrics.blackout_episodes`).
     in_blackout: bool,
+    /// The structured per-run event log, populated only when
+    /// [`Campaign::record_events`] armed it before the first step.
+    /// Recording is strictly observational: it never draws, never branches
+    /// the timeline, and a recording campaign is bit-identical to a silent
+    /// one (guarded by the replay suite).
+    events: Option<EventLog>,
 }
 
 impl Campaign {
@@ -159,6 +165,10 @@ impl Campaign {
         // fires and never consumes a stream, so unarmed campaigns are
         // byte-identical to pre-buggify ones.
         tb.set_buggify(ttt_sim::Buggify::new(cfg.seed, cfg.buggify_rate));
+        // Install the backbone link model before anything draws. The
+        // default Ideal model never draws and never adds latency, so
+        // campaigns that predate link models replay byte-identically.
+        tb.set_link_model(cfg.link_model);
 
         // Pre-existing fault burden: drift accumulated before testing
         // started, drawn from the same kind distribution as arrivals.
@@ -231,7 +241,8 @@ impl Campaign {
         let sites = fed.len();
         Campaign {
             sched,
-            userload: UserLoadGenerator::new(cfg.user_load.clone(), clusters),
+            userload: UserLoadGenerator::new(cfg.user_load.clone(), clusters)
+                .expect("a built testbed always has at least one cluster"),
             injector: FaultInjector::new(cfg.injector.clone()),
             operators: OperatorModel::new(cfg.operator_capacity_per_week, cfg.operator_triage),
             rng_inject: rngs.stream("inject"),
@@ -267,7 +278,30 @@ impl Campaign {
             wake_reasons: [0; WAKE_REASONS.len()],
             in_saturation: false,
             in_blackout: false,
+            events: None,
             cfg,
+        }
+    }
+
+    /// Arm structured event recording. Call before the first step: the log
+    /// then receives fault arrivals/repairs, RPC outcomes, job lifecycle
+    /// transitions, wake reasons and daily digest checkpoints. Recording
+    /// never perturbs the campaign — no draws, no behavioral branches.
+    pub fn record_events(&mut self) {
+        self.events = Some(EventLog::new());
+        self.tb.set_rpc_trace(true);
+    }
+
+    /// Take the recorded event log (None when recording was never armed).
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        self.tb.set_rpc_trace(false);
+        self.events.take()
+    }
+
+    /// Append one event when recording is armed.
+    fn log_event(&mut self, event: Event) {
+        if let Some(log) = self.events.as_mut() {
+            log.push(event);
         }
     }
 
@@ -416,6 +450,10 @@ impl Campaign {
         match self.next_wake_scan(next_grid) {
             Some((t, reason)) => {
                 self.wake_reasons[reason] += 1;
+                self.log_event(Event::Wake {
+                    at: t,
+                    reason: WAKE_REASONS[reason].to_string(),
+                });
                 Some(t)
             }
             None => {
@@ -505,21 +543,37 @@ impl Campaign {
             .advance_fed(t, &mut self.fed, &mut self.rng_user);
         self.fed.advance(t);
         // 2. Faults arrive.
-        self.injector.advance(t, &mut self.tb, &mut self.rng_inject);
+        let arrived = self.injector.advance(t, &mut self.tb, &mut self.rng_inject);
+        if self.events.is_some() {
+            for f in &arrived {
+                let sig = f.signature();
+                let target = sig.split_once('@').map_or(sig.as_str(), |(_, t)| t);
+                self.log_event(Event::FaultArrival {
+                    at: f.injected_at,
+                    fault_id: f.id.0,
+                    kind: f.kind.name().to_string(),
+                    target: target.to_string(),
+                });
+            }
+        }
         // 2b. Bounded service-restart windows that elapsed complete on
         //     their own: the restart *is* the repair (fault-id order keeps
         //     this deterministic across engines).
         for id in self.tb.due_service_restarts(t) {
-            self.tb.repair(id);
+            if self.tb.repair(id) {
+                self.log_event(Event::FaultRepair { at: t, fault_id: id.0 });
+            }
         }
         // 3. Every site's OAR notices dead/repaired hardware (diff of
-        //    flipped nodes only — no full testbed rescan), and learns
-        //    whether its own server process is up (a dead OAR process
-        //    stops placement on that domain — without looking anything
-        //    like a site blackout).
+        //    flipped nodes only — no full testbed rescan), learns whether
+        //    its own server process is up (a dead OAR process stops
+        //    placement on that domain — without looking anything like a
+        //    site blackout), and refreshes the backbone reachability view
+        //    (a no-op clear under the ideal link model).
         let dirty = self.tb.take_alive_dirty();
         self.fed.sync_dirty_nodes(&self.tb, &dirty);
         self.fed.sync_process_liveness(&self.tb);
+        self.fed.sync_backbone(&self.tb);
         // 4. New test families roll out.
         self.apply_rollout(t);
         // 5. Finish tests whose virtual duration elapsed.
@@ -549,7 +603,12 @@ impl Campaign {
             for bug_id in fixed {
                 if let Some(bug) = self.tracker.bug(bug_id) {
                     if let Some(fault) = find_fault(&self.tb, &bug.signature.clone()) {
-                        self.tb.repair(fault.id);
+                        if self.tb.repair(fault.id) {
+                            self.log_event(Event::FaultRepair {
+                                at: t,
+                                fault_id: fault.id.0,
+                            });
+                        }
                     }
                 }
             }
@@ -580,6 +639,27 @@ impl Campaign {
             self.metrics
                 .bug_snapshots
                 .push((t, self.tracker.filed(), self.tracker.fixed()));
+            self.log_event(Event::Checkpoint {
+                at: t,
+                tests_run: self.metrics.tests_run,
+                tests_failed: self.metrics.tests_failed,
+                filed: self.tracker.filed() as u64,
+                fixed: self.tracker.fixed() as u64,
+                active_faults: self.tb.active_faults().len() as u64,
+            });
+        }
+        // Drain the testbed's RPC envelope trace into the log. The trace
+        // is only collected while recording is armed, so a silent campaign
+        // pays nothing here.
+        if self.events.is_some() {
+            for entry in self.tb.take_rpc_trace() {
+                self.log_event(Event::RpcOutcome {
+                    at: t,
+                    site: entry.site.0,
+                    service: entry.kind.to_string(),
+                    outcome: entry.outcome,
+                });
+            }
         }
     }
 
@@ -721,6 +801,10 @@ impl Campaign {
                     vec!["no eligible resources on the testbed".into()],
                 );
                 self.metrics.unstable_builds += 1;
+                self.log_event(Event::JobUnstable {
+                    at: t,
+                    test: self.suite_ids[idx].clone(),
+                });
                 match self.cfg.mode {
                     SchedulingMode::External => {
                         let id = &self.suite_ids[idx];
@@ -748,6 +832,10 @@ impl Campaign {
                     vec!["testbed job could not be scheduled immediately".into()],
                 );
                 self.metrics.unstable_builds += 1;
+                self.log_event(Event::JobUnstable {
+                    at: t,
+                    test: self.suite_ids[idx].clone(),
+                });
                 let id = &self.suite_ids[idx];
                 self.sched.on_not_immediate(id, t, &mut self.rng_sched);
             }
@@ -813,6 +901,11 @@ impl Campaign {
         // The test lives on the shard of the site whose resources it
         // holds (primary part for cross-site co-allocations).
         let shard = oar_job.primary_domain();
+        self.log_event(Event::JobStarted {
+            at: t,
+            test: self.suite_ids[idx].clone(),
+            site: shard as u16,
+        });
         self.running.push(
             shard,
             finish_at,
@@ -828,8 +921,14 @@ impl Campaign {
     /// Complete every test whose `finish_at` elapsed, earliest first (FIFO
     /// among ties) — popped straight off the completion queue.
     fn complete_due(&mut self, t: SimTime) {
-        while let Some((_, shard, r)) = self.running.pop_due(t) {
+        while let Some((finish_at, shard, r)) = self.running.pop_due(t) {
             self.site_completions[shard] += 1;
+            self.log_event(Event::JobCompleted {
+                at: finish_at,
+                test: self.suite_ids[r.suite_idx].clone(),
+                site: shard as u16,
+                passed: r.report.passed(),
+            });
             self.fed.complete_early(&r.oar_job);
             let result = if r.report.passed() {
                 BuildResult::Success

@@ -5,7 +5,7 @@ use ttt_oar::userload::UserLoadConfig;
 use ttt_sim::{SimDuration, SimTime};
 use ttt_suite::Family;
 use ttt_testbed::gen::ClusterSpec;
-use ttt_testbed::InjectorConfig;
+use ttt_testbed::{InjectorConfig, LinkModelSpec};
 
 /// Which testbed to build.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +168,11 @@ pub struct CampaignConfig {
     /// and the CI assignment path inject chaos at this per-call rate,
     /// seeded deterministically from `seed`.
     pub buggify_rate: f64,
+    /// Backbone link model ([`LinkModelSpec::Ideal`] = the historical free
+    /// backbone, the default). A non-ideal model adds per-pair latency and
+    /// loss to every control-plane service call and makes backbone
+    /// partitions binding for federation spillover and co-allocation.
+    pub link_model: LinkModelSpec,
 }
 
 impl CampaignConfig {
@@ -195,6 +200,7 @@ impl CampaignConfig {
             rollout: Rollout::all_at_start(),
             per_node_hardware: false,
             buggify_rate: 0.0,
+            link_model: LinkModelSpec::Ideal,
         }
     }
 }

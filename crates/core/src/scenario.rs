@@ -4,7 +4,7 @@ use crate::config::{CampaignConfig, Engine, Rollout, SchedulingMode, TestbedScal
 use ttt_jobsched::PolicyConfig;
 use ttt_oar::userload::UserLoadConfig;
 use ttt_sim::SimDuration;
-use ttt_testbed::InjectorConfig;
+use ttt_testbed::{InjectorConfig, LinkModelSpec};
 
 /// The longitudinal paper scenario (experiments E8/E9): paper-scale
 /// testbed, six months, staged family rollout, fault rates and operator
@@ -35,6 +35,7 @@ pub fn paper_scenario(seed: u64) -> CampaignConfig {
         rollout: Rollout::staged(),
         per_node_hardware: false,
         buggify_rate: 0.0,
+        link_model: LinkModelSpec::Ideal,
     }
 }
 
@@ -66,6 +67,7 @@ pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
         rollout: Rollout::all_at_start(),
         per_node_hardware: false,
         buggify_rate: 0.0,
+        link_model: LinkModelSpec::Ideal,
     }
 }
 

@@ -123,6 +123,11 @@ pub struct Federation {
     spillovers_in: Vec<u64>,
     /// Cross-site co-allocations booked (`oargridsub`-style splits).
     co_allocations: u64,
+    /// Backbone reachability between domains, row-major `n × n`, refreshed
+    /// by [`Federation::sync_backbone`]. `None` — the default, and always
+    /// the case under the ideal link model — means the backbone is free
+    /// and placement ignores it entirely (the historical behavior).
+    backbone: Option<Vec<bool>>,
     now: SimTime,
     /// Whether the value-deterministic fan-outs (per-domain advance,
     /// dirty-node sync, placement probes) dispatch to the worker pool.
@@ -171,6 +176,7 @@ impl Federation {
             spillovers: 0,
             spillovers_in: vec![0; n],
             co_allocations: 0,
+            backbone: None,
             now: SimTime::ZERO,
             pool_width: 1,
         }
@@ -257,6 +263,39 @@ impl Federation {
             domain
                 .oar
                 .set_process_up(tb.process_up(domain.site, ServiceKind::OarServer));
+        }
+    }
+
+    /// Refresh the backbone reachability view from the testbed's link
+    /// model and partition state. Under the ideal model the view clears to
+    /// `None` and placement is byte-identical to a federation that never
+    /// called this; under a real model, spillover and co-allocation only
+    /// consider domain pairs whose backbone path is usable
+    /// ([`Testbed::backbone_reachable`]), so a partition — or a
+    /// mostly-dead modelled link — degrades placement instead of being
+    /// invisible to it.
+    pub fn sync_backbone(&mut self, tb: &Testbed) {
+        if tb.link_model().is_ideal() {
+            self.backbone = None;
+            return;
+        }
+        let n = self.domains.len();
+        let mut matrix = vec![true; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                matrix[a * n + b] =
+                    tb.backbone_reachable(self.domains[a].site, self.domains[b].site);
+            }
+        }
+        self.backbone = Some(matrix);
+    }
+
+    /// Whether the backbone path between two domains is usable for
+    /// placement. Always true with no reachability view installed.
+    fn backbone_ok(&self, a: usize, b: usize) -> bool {
+        match &self.backbone {
+            None => true,
+            Some(m) => a == b || m[a * self.domains.len() + b],
         }
     }
 
@@ -354,6 +393,15 @@ impl Federation {
                 if parts.iter().any(|(d, _)| !self.domains[*d].oar.process_up()) {
                     return None;
                 }
+                // All parts must be mutually reachable over the backbone —
+                // a co-allocation spanning a partition can never start.
+                for (i, &(a, _)) in parts.iter().enumerate() {
+                    for &(b, _) in &parts[i + 1..] {
+                        if !self.backbone_ok(a, b) {
+                            return None;
+                        }
+                    }
+                }
                 let all_immediate = if self.pool_width() > 1 && parts.len() >= 2 {
                     self.probe_immediate(parts.iter().map(|(d, part)| (*d, part)))
                         .into_iter()
@@ -417,7 +465,10 @@ impl Federation {
             .collect()
     }
 
-    /// Home-first, then every other domain in ascending site order.
+    /// Home-first, then every other domain in ascending site order. With a
+    /// backbone reachability view installed and a known home, remote
+    /// domains the home site cannot reach are not candidates — a job
+    /// cannot spill over (or queue remotely) across a dead backbone path.
     fn candidate_order(&self, home: Option<usize>) -> Vec<usize> {
         let mut order: Vec<usize> = Vec::with_capacity(self.domains.len());
         if let Some(h) = home {
@@ -426,7 +477,7 @@ impl Federation {
             }
         }
         for d in 0..self.domains.len() {
-            if Some(d) != home {
+            if Some(d) != home && home.is_none_or(|h| self.backbone_ok(h, d)) {
                 order.push(d);
             }
         }
@@ -977,6 +1028,77 @@ mod tests {
         )
         .unwrap();
         assert!((fed.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_backbone_blocks_spillover_under_a_real_model() {
+        let (mut tb, mut fed) = setup();
+        let (east, west) = (tb.sites()[0].id, tb.sites()[1].id);
+        tb.set_link_model(ttt_testbed::LinkModelSpec::Uniform {
+            latency_s: 0.01,
+            loss_prob: 0.0,
+        });
+        tb.topology_mut().set_site_link(east, west, false);
+        fed.sync_backbone(&tb);
+        // Saturate east; a site-agnostic request homed there used to spill
+        // to west, but the backbone is down: it queues at home instead.
+        fed.submit(
+            "hog",
+            Queue::Default,
+            JobKind::User,
+            nodes_req(Expr::eq("site", "east"), 8, 10),
+            None,
+        )
+        .unwrap();
+        let home = fed.domain_by_name("east");
+        let job = fed
+            .submit("bob", Queue::Default, JobKind::User, nodes_req(Expr::True, 2, 1), home)
+            .unwrap();
+        assert_eq!(job.primary_domain(), 0);
+        assert_eq!(fed.job_state(&job), FedJobState::Pending);
+        assert_eq!(fed.spillovers(), 0);
+        // Healing the link and re-syncing restores spillover.
+        tb.topology_mut().set_site_link(east, west, true);
+        fed.sync_backbone(&tb);
+        let job = fed
+            .submit("carol", Queue::Default, JobKind::User, nodes_req(Expr::True, 2, 1), home)
+            .unwrap();
+        assert_eq!(job.primary_domain(), 1);
+        assert_eq!(fed.spillovers(), 1);
+    }
+
+    #[test]
+    fn partitioned_backbone_blocks_co_allocation_under_a_real_model() {
+        let (mut tb, mut fed) = setup();
+        let (east, west) = (tb.sites()[0].id, tb.sites()[1].id);
+        let req = || ResourceRequest {
+            groups: vec![
+                crate::ast::RequestGroup {
+                    filter: Expr::eq("site", "east"),
+                    hierarchy: vec![(crate::ast::Level::Nodes, crate::ast::Count::Exact(1))],
+                },
+                crate::ast::RequestGroup {
+                    filter: Expr::eq("site", "west"),
+                    hierarchy: vec![(crate::ast::Level::Nodes, crate::ast::Count::Exact(1))],
+                },
+            ],
+            walltime: SimDuration::from_hours(1),
+        };
+        tb.set_link_model(ttt_testbed::LinkModelSpec::DistanceTiered);
+        tb.topology_mut().set_site_link(east, west, false);
+        fed.sync_backbone(&tb);
+        let err = fed
+            .submit("ci", Queue::Admin, JobKind::Test, req(), None)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsatisfiable);
+        // Under the ideal model the same partition is invisible (the
+        // historical behavior): sync clears the view, the split books.
+        tb.set_link_model(ttt_testbed::LinkModelSpec::Ideal);
+        fed.sync_backbone(&tb);
+        let job = fed
+            .submit("ci", Queue::Admin, JobKind::Test, req(), None)
+            .unwrap();
+        assert_eq!(job.parts.len(), 2);
     }
 
     #[test]

@@ -14,7 +14,35 @@ use crate::job::{JobKind, Queue};
 use crate::server::OarServer;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::fmt;
 use ttt_sim::{Calendar, PoissonProcess, SimDuration, SimTime};
+
+/// Why a [`UserLoadGenerator`] could not be constructed.
+///
+/// Construction is where the invariants live: `draw_request` indexes into
+/// the cluster list whenever a cluster-affine draw fires, so an empty list
+/// with a non-zero affinity used to survive until an arrival landed mid-
+/// campaign and panicked in `choose(..).unwrap()`. Rejecting it up front
+/// turns that latent panic into a typed error at the one place a caller
+/// can actually do something about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserLoadError {
+    /// Cluster-affine jobs are possible (`cluster_affinity > 0`) but there
+    /// are no clusters to target.
+    NoClusters,
+}
+
+impl fmt::Display for UserLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserLoadError::NoClusters => f.write_str(
+                "user load has cluster_affinity > 0 but no clusters to target",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UserLoadError {}
 
 /// Configuration of the user-load generator.
 #[derive(Debug, Clone)]
@@ -86,13 +114,20 @@ pub struct UserLoadGenerator {
 
 impl UserLoadGenerator {
     /// Create a generator for the given cluster names.
-    pub fn new(config: UserLoadConfig, clusters: Vec<String>) -> Self {
-        UserLoadGenerator {
+    ///
+    /// Fails with [`UserLoadError::NoClusters`] when the config makes
+    /// cluster-affine draws possible but `clusters` is empty — the
+    /// combination that used to panic on the first affine arrival.
+    pub fn new(config: UserLoadConfig, clusters: Vec<String>) -> Result<Self, UserLoadError> {
+        if config.cluster_affinity > 0.0 && clusters.is_empty() {
+            return Err(UserLoadError::NoClusters);
+        }
+        Ok(UserLoadGenerator {
             config,
             clusters,
             next_candidate: None,
             submitted: 0,
-        }
+        })
     }
 
     /// Number of jobs submitted so far.
@@ -178,7 +213,11 @@ impl UserLoadGenerator {
         let cluster_affine =
             !self.clusters.is_empty() && rng.gen_bool(self.config.cluster_affinity);
         if cluster_affine {
-            let cluster = self.clusters.choose(rng).unwrap().clone();
+            let cluster = self
+                .clusters
+                .choose(rng)
+                .expect("non-empty by the cluster_affine guard and the constructor invariant")
+                .clone();
             if rng.gen_bool(self.config.whole_cluster_prob) {
                 ResourceRequest::all_nodes(Expr::eq("cluster", &cluster), walltime)
             } else {
@@ -208,8 +247,32 @@ mod tests {
         let desc = describe(&tb, 1, SimTime::ZERO);
         let server = OarServer::new(&tb, &desc);
         let clusters = tb.clusters().iter().map(|c| c.name.clone()).collect();
-        let gen = UserLoadGenerator::new(UserLoadConfig::default(), clusters);
+        let gen = UserLoadGenerator::new(UserLoadConfig::default(), clusters)
+            .expect("testbed has clusters");
         (gen, server)
+    }
+
+    #[test]
+    fn empty_cluster_set_is_a_typed_error_not_a_panic() {
+        // Regression: an affine config over zero clusters used to build
+        // fine and panic later inside draw_request's choose().unwrap().
+        let err = UserLoadGenerator::new(UserLoadConfig::default(), Vec::new()).unwrap_err();
+        assert_eq!(err, UserLoadError::NoClusters);
+        assert!(err.to_string().contains("no clusters"));
+        // With affinity zero the empty list is harmless: no draw can ever
+        // reach the cluster path, so construction succeeds and the
+        // generator runs purely site-agnostic load.
+        let cfg = UserLoadConfig {
+            cluster_affinity: 0.0,
+            ..UserLoadConfig::default()
+        };
+        let mut gen = UserLoadGenerator::new(cfg, Vec::new()).unwrap();
+        let tb = TestbedBuilder::small().build();
+        let desc = describe(&tb, 1, SimTime::ZERO);
+        let mut server = OarServer::new(&tb, &desc);
+        let mut rng = stream_rng(21, "userload");
+        gen.advance(SimTime::from_days(2), &mut server, &mut rng);
+        assert!(gen.submitted() > 0);
     }
 
     #[test]

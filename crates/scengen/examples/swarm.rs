@@ -1,18 +1,26 @@
 //! Swarm CLI: sweep a block of seeds through the scenario grammar and the
-//! differential oracles, rayon-parallel — or run the coverage-guided
-//! fuzzer over an evolving corpus.
+//! differential oracles, rayon-parallel — run the coverage-guided fuzzer
+//! over an evolving corpus — or run hand-written `scenario.v1` files.
 //!
 //! ```text
 //! # Fixed-block sweep (the CI smoke mode):
 //! cargo run --release -p ttt_scengen --example swarm -- \
 //!     [--seeds N] [--base B] [--no-equivalence] [--no-detection] \
 //!     [--no-conservation] [--max-tests LIMIT] [--no-shrink] \
-//!     [--dump-dir DIR] [--replay-dir DIR] [--service-chaos]
+//!     [--dump-dir DIR] [--replay-dir DIR] [--service-chaos] [--log-dir DIR]
 //!
 //! # Coverage-guided fuzzing:
 //! cargo run --release -p ttt_scengen --example swarm -- --fuzz \
 //!     [--budget N] [--batch N] [--root-seed S] [--corpus FILE] \
-//!     [--oracles] [--dump-dir DIR]
+//!     [--oracles] [--dump-dir DIR] [--log-dir DIR]
+//!
+//! # Hand-written scenario files (the scenario.v1 format):
+//! cargo run --release -p ttt_scengen --example swarm -- \
+//!     --scenario FILE [--scenario FILE ...] | --scenario-dir DIR \
+//!     [--log-dir DIR]
+//!
+//! # Replay a run-log artifact and bitwise-diff against the original:
+//! cargo run --release -p ttt_scengen --example swarm -- --replay-log FILE
 //! ```
 //!
 //! Sweep mode prints one line per scenario, a throughput summary, and —
@@ -30,14 +38,35 @@
 //! replaced) and writes the evolved corpus back. `--oracles` turns the
 //! differential oracles on during fuzzing; violations ("trophies") are
 //! shrunk and written to `--dump-dir` like sweep failures.
+//!
+//! Scenario-file mode validates each file (every problem reported with
+//! its JSON path) and runs the valid ones through the same oracles as the
+//! sweep. `--log-dir DIR` writes a replayable run-log artifact — spec,
+//! engine, digest, structured event log — per scenario run and per
+//! shrunken reproducer (`trophy-seed-<N>-runlog.json`); `--replay-log`
+//! re-drives such an artifact and fails unless the digest and observable
+//! event stream match the original bit-for-bit.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use ttt_scengen::{
-    replay, run_fuzz, run_swarm, run_swarm_service_chaos, seed_block, Corpus, FuzzConfig,
-    Oracles, ScenarioOutcome,
+    load_scenario_file, replay_file, replay_run_log_file, run_fuzz, run_logged, run_scenario,
+    run_swarm, run_swarm_service_chaos, seed_block, Corpus, FuzzConfig, Oracles, ScenarioOutcome,
 };
 
-fn write_reproducers(outcomes: &[&ScenarioOutcome], dump_dir: Option<&str>) {
+fn write_run_log(dir: &str, stem: &str, artifact: &ttt_scengen::RunLogArtifact) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/{stem}-runlog.json");
+    match std::fs::write(&path, artifact.to_json()) {
+        Ok(()) => println!("run log written to {path} ({} events)", artifact.events.len()),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn write_reproducers(outcomes: &[&ScenarioOutcome], dump_dir: Option<&str>, log_dir: Option<&str>) {
     for o in outcomes {
         for v in &o.violations {
             println!("seed {}: {v}", o.seed);
@@ -62,8 +91,58 @@ fn write_reproducers(outcomes: &[&ScenarioOutcome], dump_dir: Option<&str>) {
                     }
                 }
             }
+            if let Some(dir) = log_dir {
+                // The replayable record of the minimized scenario: CI
+                // re-drives it with --replay-log and diffs bitwise.
+                let artifact = run_logged(&r.spec, ttt_core::Engine::NextEvent);
+                write_run_log(dir, &format!("trophy-seed-{}", o.seed), &artifact);
+            }
         }
     }
+}
+
+/// Validate and run hand-written scenario files through the oracles.
+/// Returns whether anything failed (validation or oracle).
+fn run_scenario_files(files: &[PathBuf], oracles: &Oracles, log_dir: Option<&str>) -> bool {
+    let mut any_failure = false;
+    for path in files {
+        let name = path.display();
+        let spec = match load_scenario_file(path) {
+            Ok(spec) => spec,
+            Err(errors) => {
+                any_failure = true;
+                eprintln!("scenario {name}: {} validation error(s):", errors.len());
+                for e in &errors {
+                    eprintln!("  {e}");
+                }
+                continue;
+            }
+        };
+        let run = run_scenario(&spec, oracles);
+        if run.violations.is_empty() {
+            println!(
+                "scenario {name}: ok  {} clusters  {} nodes  {} h  {} tests",
+                spec.clusters.len(),
+                spec.node_count(),
+                spec.duration_hours,
+                run.tests_run()
+            );
+        } else {
+            any_failure = true;
+            for v in &run.violations {
+                println!("scenario {name}: {v}");
+            }
+        }
+        if let Some(dir) = log_dir {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "scenario".to_string());
+            let artifact = run_logged(&spec, ttt_core::Engine::NextEvent);
+            write_run_log(dir, &stem, &artifact);
+        }
+    }
+    any_failure
 }
 
 /// Replay every `*.json` dump in `dir`. Unreadable dumps (older grammar,
@@ -84,14 +163,7 @@ fn replay_dir(dir: &str, oracles: &Oracles) -> bool {
     let mut any_violation = false;
     for path in entries {
         let name = path.display();
-        let dump = match std::fs::read_to_string(&path) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("replay {name}: unreadable file ({e}), skipping");
-                continue;
-            }
-        };
-        match replay(&dump, oracles) {
+        match replay_file(&path, oracles) {
             Ok(violations) if violations.is_empty() => println!("replay {name}: clean"),
             Ok(violations) => {
                 any_violation = true;
@@ -99,13 +171,19 @@ fn replay_dir(dir: &str, oracles: &Oracles) -> bool {
                     println!("replay {name}: {v}");
                 }
             }
-            Err(e) => eprintln!("replay {name}: {e} — skipping"),
+            // The error already names the file it came from.
+            Err(e) => eprintln!("replay: {e} — skipping"),
         }
     }
     any_violation
 }
 
-fn run_fuzz_mode(cfg: FuzzConfig, corpus_path: Option<String>, dump_dir: Option<String>) -> i32 {
+fn run_fuzz_mode(
+    cfg: FuzzConfig,
+    corpus_path: Option<String>,
+    dump_dir: Option<String>,
+    log_dir: Option<String>,
+) -> i32 {
     let corpus = match &corpus_path {
         Some(path) if std::path::Path::new(path).exists() => {
             match std::fs::read_to_string(path)
@@ -151,7 +229,7 @@ fn run_fuzz_mode(cfg: FuzzConfig, corpus_path: Option<String>, dump_dir: Option<
     if !report.trophies.is_empty() {
         println!("fuzz: {} trophies (oracle violations)", report.trophies.len());
         let refs: Vec<&ScenarioOutcome> = report.trophies.iter().collect();
-        write_reproducers(&refs, dump_dir.as_deref());
+        write_reproducers(&refs, dump_dir.as_deref(), log_dir.as_deref());
         return 1;
     }
     0
@@ -165,6 +243,10 @@ fn main() {
     let mut service_chaos = false;
     let mut dump_dir: Option<String> = None;
     let mut replay_from: Option<String> = None;
+    let mut log_dir: Option<String> = None;
+    let mut replay_logs: Vec<String> = Vec::new();
+    let mut scenario_files: Vec<PathBuf> = Vec::new();
+    let mut scenario_dirs: Vec<String> = Vec::new();
     let mut fuzz = false;
     let mut fuzz_oracles = false;
     let mut fuzz_cfg = FuzzConfig::default();
@@ -188,6 +270,10 @@ fn main() {
             "--service-chaos" => service_chaos = true,
             "--dump-dir" => dump_dir = Some(raw("--dump-dir")),
             "--replay-dir" => replay_from = Some(raw("--replay-dir")),
+            "--log-dir" => log_dir = Some(raw("--log-dir")),
+            "--replay-log" => replay_logs.push(raw("--replay-log")),
+            "--scenario" => scenario_files.push(PathBuf::from(raw("--scenario"))),
+            "--scenario-dir" => scenario_dirs.push(raw("--scenario-dir")),
             "--fuzz" => fuzz = true,
             "--budget" => fuzz_cfg.budget = value("--budget") as usize,
             "--batch" => fuzz_cfg.batch = value("--batch") as usize,
@@ -201,6 +287,57 @@ fn main() {
         }
     }
 
+    // Run-log replay: re-drive each artifact and require a bitwise match.
+    let mut replay_log_failure = false;
+    for path in &replay_logs {
+        match replay_run_log_file(std::path::Path::new(path)) {
+            Ok(r) if r.is_identical() => {
+                println!("replay-log {path}: identical ({} events)", r.events.len());
+            }
+            Ok(r) => {
+                replay_log_failure = true;
+                println!(
+                    "replay-log {path}: DIVERGED (digest fields {:?}, observable events match: {})",
+                    r.digest_diff, r.events_match
+                );
+            }
+            Err(e) => {
+                replay_log_failure = true;
+                eprintln!("replay-log: {e}");
+            }
+        }
+    }
+
+    // Scenario-file mode: validate + run the named files, then exit.
+    for dir in &scenario_dirs {
+        match std::fs::read_dir(dir) {
+            Ok(rd) => {
+                let mut found: Vec<PathBuf> = rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect();
+                found.sort();
+                if found.is_empty() {
+                    eprintln!("--scenario-dir {dir}: no *.json scenario files");
+                    std::process::exit(2);
+                }
+                scenario_files.extend(found);
+            }
+            Err(e) => {
+                eprintln!("cannot read --scenario-dir {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !scenario_files.is_empty() {
+        let failed = run_scenario_files(&scenario_files, &oracles, log_dir.as_deref());
+        std::process::exit(if failed || replay_log_failure { 1 } else { 0 });
+    }
+    if !replay_logs.is_empty() && !fuzz && replay_from.is_none() {
+        // Pure replay invocation: don't fall through to a seed sweep.
+        std::process::exit(if replay_log_failure { 1 } else { 0 });
+    }
+
     if fuzz {
         if fuzz_cfg.budget == 0 {
             eprintln!("--budget must be at least 1");
@@ -210,12 +347,12 @@ fn main() {
             fuzz_cfg.oracles = oracles.clone();
         }
         fuzz_cfg.shrink_failures = shrink;
-        std::process::exit(run_fuzz_mode(fuzz_cfg, corpus_path, dump_dir));
+        std::process::exit(run_fuzz_mode(fuzz_cfg, corpus_path, dump_dir, log_dir));
     }
 
-    let mut replayed_violation = false;
+    let mut replayed_violation = replay_log_failure;
     if let Some(dir) = &replay_from {
-        replayed_violation = replay_dir(dir, &oracles);
+        replayed_violation |= replay_dir(dir, &oracles);
     }
 
     if n == 0 {
@@ -258,7 +395,7 @@ fn main() {
             }
         );
     }
-    write_reproducers(&report.failures(), dump_dir.as_deref());
+    write_reproducers(&report.failures(), dump_dir.as_deref(), log_dir.as_deref());
 
     let secs = elapsed.as_secs_f64();
     println!(

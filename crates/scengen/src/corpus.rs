@@ -12,13 +12,18 @@
 //! revisions and fall back to a fresh one when the format moves.
 
 use crate::coverage::CoverageSignature;
-use crate::grammar::ScenarioSpec;
+use crate::grammar::{ensure_spec_defaults, ScenarioSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Format version of serialized corpora. Bump when [`ScenarioSpec`] or
-/// [`CoverageSignature`] change incompatibly.
-pub const CORPUS_VERSION: u32 = 1;
+/// [`CoverageSignature`] change incompatibly. Older versions whose only
+/// spec change is an appended field stay loadable — [`Corpus::from_json`]
+/// injects the implicit defaults, so CI corpora survive grammar growth.
+///
+/// v2: specs carry `link_model`, and the signature's site axis widened
+/// from u8 to u16 (both migrate losslessly from v1).
+pub const CORPUS_VERSION: u32 = 2;
 
 /// One coverage-novel scenario: the first spec observed to produce its
 /// signature.
@@ -100,25 +105,50 @@ impl Corpus {
     ///
     /// The version is probed before the entries are parsed, so a corpus
     /// written by a *future* grammar reports "incompatible version", not
-    /// whatever field its entries happen to fail on.
+    /// whatever field its entries happen to fail on. Corpora from `1` up
+    /// to [`CORPUS_VERSION`] all load: older entry specs are migrated in
+    /// place by injecting the implicit defaults of the fields appended
+    /// since (chaos off, ideal backbone).
     pub fn from_json(json: &str) -> Result<Corpus, String> {
-        if let Ok(value) = serde_json::parse(json) {
-            if let Some(obj) = value.as_object() {
-                if let Some((_, v)) = obj.iter().find(|(k, _)| k == "version") {
-                    let found = match v {
-                        serde::Value::I64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
-                        serde::Value::U64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
-                        _ => u32::MAX,
-                    };
-                    if found != CORPUS_VERSION {
-                        return Err(format!(
-                            "corpus version {found} incompatible with this build (reads v{CORPUS_VERSION})"
-                        ));
+        let mut value = match serde_json::parse(json) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(format!(
+                    "unreadable corpus (not a v{CORPUS_VERSION} envelope): {e}"
+                ))
+            }
+        };
+        if let Some(obj) = value.as_object() {
+            if let Some((_, v)) = obj.iter().find(|(k, _)| k == "version") {
+                let found = match v {
+                    serde::Value::I64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
+                    serde::Value::U64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
+                    _ => u32::MAX,
+                };
+                if !(1..=CORPUS_VERSION).contains(&found) {
+                    return Err(format!(
+                        "corpus version {found} incompatible with this build (reads v{CORPUS_VERSION})"
+                    ));
+                }
+            }
+        }
+        // Migrate pre-current entry specs before the strict parse.
+        if let serde::Value::Object(fields) = &mut value {
+            if let Some((_, serde::Value::Array(entries))) =
+                fields.iter_mut().find(|(k, _)| k == "entries")
+            {
+                for entry in entries {
+                    if let serde::Value::Object(entry_fields) = entry {
+                        if let Some((_, spec)) =
+                            entry_fields.iter_mut().find(|(k, _)| k == "spec")
+                        {
+                            ensure_spec_defaults(spec);
+                        }
                     }
                 }
             }
         }
-        let file: CorpusFile = serde_json::from_str(json)
+        let file: CorpusFile = Deserialize::from_value(&value)
             .map_err(|e| format!("unreadable corpus (not a v{CORPUS_VERSION} envelope): {e}"))?;
         let mut corpus = Corpus::new();
         for entry in file.entries {
@@ -162,6 +192,34 @@ mod tests {
         let json = corpus.to_json();
         let back = Corpus::from_json(&json).unwrap();
         assert_eq!(back.entries(), corpus.entries());
+    }
+
+    /// A v1 corpus — written before `link_model` joined the spec and the
+    /// signature's site axis widened — must keep loading: CI carries its
+    /// corpus across revisions and a format bump must not silently reset
+    /// the fuzzer's memory.
+    #[test]
+    fn v1_corpus_still_loads_with_migrated_specs() {
+        let (mut expected_spec, sig) = entry_for(4);
+        expected_spec.buggify_rate = 0.0;
+        expected_spec.link_model = ttt_testbed::LinkModelSpec::Ideal;
+        let mut spec_value = expected_spec.to_value();
+        if let serde::Value::Object(fields) = &mut spec_value {
+            fields.retain(|(k, _)| k != "link_model" && k != "buggify_rate");
+        }
+        let entry = serde::Value::Object(vec![
+            ("spec".to_string(), spec_value),
+            ("signature".to_string(), sig.to_value()),
+        ]);
+        let v1 = serde_json::to_string(&serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::U64(1)),
+            ("entries".to_string(), serde::Value::Array(vec![entry])),
+        ]))
+        .unwrap();
+        let corpus = Corpus::from_json(&v1).expect("v1 corpus must load");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.entry(0).spec, expected_spec);
+        assert_eq!(corpus.entry(0).signature, sig);
     }
 
     #[test]

@@ -60,8 +60,10 @@ pub struct CoverageSignature {
     pub mode: u8,
     /// Rollout pattern: 0 all-at-start, 1 staged, 2 no-testing.
     pub rollout: u8,
-    /// Distinct sites the topology spans (1–4, or 8 at large scale).
-    pub sites: u8,
+    /// Distinct sites the topology spans (1–4 or 8 from the grammar and
+    /// the structural cells; wider for hand-grown grid-of-grids specs —
+    /// `u16` so a 300-site world is not clamped into the 255 bucket).
+    pub sites: u16,
     /// A site-scoped fault kind (outage, partition, skew) was injected.
     pub site_faults_injected: bool,
     /// The testing pipeline attributed at least one diagnostic to a fault.
@@ -102,7 +104,7 @@ impl CoverageSignature {
                 RolloutDim::Staged { .. } => 1,
                 RolloutDim::NoTesting => 2,
             },
-            sites: spec.site_count().min(u8::MAX as usize) as u8,
+            sites: spec.site_count().min(u16::MAX as usize) as u16,
             site_faults_injected: digest
                 .injected_by_kind
                 .iter()
@@ -148,7 +150,7 @@ pub struct StructuralCell {
     /// 0 all-at-start, 1 staged, 2 no-testing.
     pub rollout: u8,
     /// Sites the topology must span (1–4, or 8 for the large-scale cells).
-    pub sites: u8,
+    pub sites: u16,
     /// Whether site-scoped fault kinds should be injected.
     pub site_faults: bool,
     /// Whether the world should be arrival-free (no faults, no users, no
@@ -172,7 +174,7 @@ impl StructuralCell {
         let mut out = Vec::with_capacity(102);
         for mode in 0..2u8 {
             for rollout in 0..3u8 {
-                for sites in 1..=4u8 {
+                for sites in 1..=4u16 {
                     for (site_faults, calm) in [(false, false), (true, false), (false, true)] {
                         out.push(StructuralCell {
                             mode,
@@ -208,7 +210,7 @@ impl StructuralCell {
         // small federated world and the large-scale one.
         for mode in 0..2u8 {
             for rollout in 0..3u8 {
-                for sites in [2u8, 8] {
+                for sites in [2u16, 8] {
                     out.push(StructuralCell {
                         mode,
                         rollout,
@@ -275,6 +277,41 @@ mod tests {
         assert!(cells[..72].iter().all(|c| c.sites <= 4 && !c.service_faults));
         assert!(cells[72..90].iter().all(|c| c.sites == 8 && !c.service_faults));
         assert!(cells[90..].iter().all(|c| c.service_faults && !c.calm && !c.site_faults));
+    }
+
+    #[test]
+    fn site_counts_beyond_255_do_not_saturate() {
+        // Regression: `sites` was a u8 clamped via `min(u8::MAX)`, so a
+        // 256-site and a 300-site world shared one signature bucket and
+        // the coverage search could never tell grid-of-grids scales apart.
+        let mk = |n_sites: usize| {
+            let mut spec = ScenarioSpec::from_seed(1);
+            spec.clusters = (0..n_sites)
+                .map(|i| {
+                    ttt_testbed::gen::ClusterSpec::new(
+                        &format!("wide-c{i}"),
+                        &crate::grammar::site_name(i),
+                        1,
+                        8,
+                        ttt_testbed::hardware::Vendor::Dell,
+                        false,
+                        true,
+                    )
+                })
+                .collect();
+            spec
+        };
+        let wide = mk(300);
+        assert_eq!(wide.site_count(), 300);
+        // The site axis comes from the spec alone, so one cheap digest
+        // (from the small base scenario) serves both signatures.
+        let digest = CampaignDigest::capture(&run_campaign(&ScenarioSpec::from_seed(1), Engine::NextEvent));
+        let sig_300 = CoverageSignature::capture(&wide, &digest);
+        let sig_256 = CoverageSignature::capture(&mk(256), &digest);
+        assert_eq!(sig_300.sites, 300);
+        assert_eq!(sig_256.sites, 256);
+        assert_ne!(sig_300, sig_256, "wide site counts must not collapse");
+        assert_eq!(sig_300.cell().sites, 300);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use ttt_sim::{SimDuration, SimTime};
 use ttt_suite::Family;
 use ttt_testbed::gen::ClusterSpec;
 use ttt_testbed::hardware::Vendor;
-use ttt_testbed::{FaultKind, InjectorConfig};
+use ttt_testbed::{FaultKind, InjectorConfig, LinkModelSpec};
 
 /// Hardware and time menus shared by the seed expansion ([`ScenarioSpec::
 /// from_seed`]) and the structural mutators ([`crate::mutate`]) — one
@@ -117,6 +117,10 @@ pub struct ScenarioSpec {
     /// expansion always leaves this off; the service-chaos cells and the
     /// `ToggleBuggify` mutator arm it.
     pub buggify_rate: f64,
+    /// Backbone link model (Ideal = the historical free backbone).
+    /// Bare-seed expansion always leaves this ideal; the `WarpLinkModel`
+    /// mutator and hand-written scenario files select the others.
+    pub link_model: LinkModelSpec,
 }
 
 impl ScenarioSpec {
@@ -215,6 +219,9 @@ impl ScenarioSpec {
             // No draw: arming buggify here would shift every later stream
             // and break the append-only seed discipline.
             buggify_rate: 0.0,
+            // Same no-draw rule: bare seeds keep the historical ideal
+            // backbone so every pre-link-model seed expands byte-for-byte.
+            link_model: LinkModelSpec::Ideal,
         }
     }
 
@@ -313,6 +320,27 @@ impl ScenarioSpec {
             rollout: self.rollout(),
             per_node_hardware: self.per_node_hardware,
             buggify_rate: self.buggify_rate,
+            link_model: self.link_model,
+        }
+    }
+}
+
+/// Inject the implicit defaults of fields appended to [`ScenarioSpec`]
+/// after an artifact was written: specs dumped before `buggify_rate`
+/// existed ran with chaos off, and specs dumped before `link_model`
+/// existed ran on the ideal backbone. Mutating the parsed JSON value
+/// keeps old reproducer dumps and corpora loadable while the strict
+/// missing-field errors stay in force for current-version files.
+pub(crate) fn ensure_spec_defaults(spec: &mut serde::Value) {
+    if let serde::Value::Object(fields) = spec {
+        if !fields.iter().any(|(k, _)| k == "buggify_rate") {
+            fields.push(("buggify_rate".to_string(), serde::Value::F64(0.0)));
+        }
+        if !fields.iter().any(|(k, _)| k == "link_model") {
+            fields.push((
+                "link_model".to_string(),
+                serde::Value::String("Ideal".to_string()),
+            ));
         }
     }
 }

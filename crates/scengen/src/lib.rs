@@ -40,6 +40,8 @@ pub mod coverage;
 pub mod grammar;
 pub mod mutate;
 pub mod oracle;
+pub mod runlog;
+pub mod scenario_file;
 pub mod shrink;
 pub mod swarm;
 
@@ -48,7 +50,18 @@ pub use coverage::{CoverageSignature, StructuralCell};
 pub use grammar::{ModeDim, RolloutDim, ScenarioSpec};
 pub use mutate::{mutate, pin_to_cell, sanitize, Mutator};
 pub use oracle::{CampaignDigest, OracleKind, Violation, KNOWN_COVERAGE_GAPS};
-pub use shrink::{dump_spec, parse_dump, replay, shrink, ReplayError, Reproducer, DUMP_VERSION};
+pub use runlog::{
+    engine_name, parse_engine, replay_run_log, replay_run_log_file, run_logged, RunLogArtifact,
+    RunLogReplay, RUN_LOG_VERSION,
+};
+pub use scenario_file::{
+    load_scenario_file, parse_scenario, to_scenario_json, to_scenario_value, ScenarioFileError,
+    SCENARIO_FORMAT,
+};
+pub use shrink::{
+    dump_spec, parse_dump, replay, replay_file, shrink, ReplayError, ReplayErrorKind, Reproducer,
+    DUMP_VERSION,
+};
 pub use swarm::{
     random_coverage, run_fuzz, run_scenario, run_seed, run_seed_service_chaos, run_swarm,
     run_swarm_service_chaos, seed_block, FuzzConfig, FuzzReport, Oracles, ScenarioOutcome,

@@ -23,7 +23,7 @@ use rand::Rng;
 use ttt_suite::Family;
 use ttt_testbed::gen::ClusterSpec;
 use ttt_testbed::hardware::Vendor;
-use ttt_testbed::FaultKind;
+use ttt_testbed::{FaultKind, LinkModelSpec};
 
 /// Hard ceiling on user load a mutant may carry — beyond the grammar's
 /// 100/day so the fuzzer can reach saturation regimes, but bounded so a
@@ -71,12 +71,14 @@ pub enum Mutator {
     Reseed,
     /// Arm or disarm buggify chaos at the IO-shaped callsites.
     ToggleBuggify,
+    /// Cycle the backbone link model (Ideal → Uniform → DistanceTiered).
+    WarpLinkModel,
 }
 
 impl Mutator {
     /// Every move, in a stable order (new moves append — the fuzzer's
     /// move draws index into this array).
-    pub const ALL: [Mutator; 16] = [
+    pub const ALL: [Mutator; 17] = [
         Mutator::SpliceFaultMix,
         Mutator::ToggleFaultKind,
         Mutator::WarpFaultRate,
@@ -93,6 +95,7 @@ impl Mutator {
         Mutator::WarpOperator,
         Mutator::Reseed,
         Mutator::ToggleBuggify,
+        Mutator::WarpLinkModel,
     ];
 }
 
@@ -225,6 +228,18 @@ fn apply<R: Rng>(m: Mutator, spec: &mut ScenarioSpec, donor: &ScenarioSpec, rng:
                 0.0
             } else {
                 *[0.02, 0.05, 0.10].choose(rng).unwrap()
+            };
+        }
+        Mutator::WarpLinkModel => {
+            // Cycle, with Uniform's figures drawn fresh each time it comes
+            // up — the cycle guarantees the move always changes the spec.
+            spec.link_model = match spec.link_model {
+                LinkModelSpec::Ideal => LinkModelSpec::Uniform {
+                    latency_s: rng.gen_range(0.001..0.1),
+                    loss_prob: rng.gen_range(0.0..0.2),
+                },
+                LinkModelSpec::Uniform { .. } => LinkModelSpec::DistanceTiered,
+                LinkModelSpec::DistanceTiered => LinkModelSpec::Ideal,
             };
         }
     }
@@ -394,6 +409,16 @@ pub fn sanitize(spec: &mut ScenarioSpec) {
         *phases = (*phases).clamp(1, Family::ALL.len());
     }
     spec.buggify_rate = spec.buggify_rate.clamp(0.0, 0.25);
+    if let LinkModelSpec::Uniform {
+        latency_s,
+        loss_prob,
+    } = &mut spec.link_model
+    {
+        // Latency beyond 30 s is a dead backbone pretending to be slow;
+        // loss beyond 0.5 is the placement layer's unreachability cutoff.
+        *latency_s = latency_s.clamp(0.0, 30.0);
+        *loss_prob = loss_prob.clamp(0.0, 0.5);
+    }
     spec.operator_capacity_per_week = spec.operator_capacity_per_week.clamp(0.5, 20.0);
     spec.operator_triage_hours = spec.operator_triage_hours.clamp(1, 96);
     if !CADENCE_MENU.contains(&spec.operator_cadence_hours) {

@@ -17,6 +17,7 @@
 //!    consistency, executor accounting, and metric bookkeeping identities.
 
 use crate::grammar::ScenarioSpec;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use ttt_core::matching::find_fault;
 use ttt_core::{Campaign, Engine};
@@ -77,8 +78,10 @@ pub const KNOWN_COVERAGE_GAPS: &[FaultKind] = &[];
 
 /// Everything observable a campaign produces, with floats captured bitwise
 /// so "identical" means identical. Shared by the swarm's equivalence
-/// oracle and the `engine_equivalence` integration suite.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// oracle, the `engine_equivalence` integration suite, and the run-log
+/// artifacts (`crate::runlog`), which persist the digest to disk so a
+/// replay can bitwise-diff against the original run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignDigest {
     /// Total tests run.
     pub tests_run: u64,

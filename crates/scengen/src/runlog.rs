@@ -1,0 +1,234 @@
+//! Replayable per-run artifacts: scenario, engine, digest, event log.
+//!
+//! A run log is everything one campaign run leaves behind — the exact
+//! [`ScenarioSpec`] it lowered, which engine drove it, the bitwise
+//! [`CampaignDigest`] it produced, and the structured
+//! [`EventLog`](ttt_sim::EventLog) of what happened along the way (fault
+//! arrivals and repairs, RPC outcomes, job lifecycle, wake reasons,
+//! digest checkpoints). [`run_logged`] produces one; [`replay_run_log`]
+//! consumes one from disk, re-drives the campaign from the embedded spec,
+//! and bitwise-diffs both the digest and the observable event stream
+//! against the original — the determinism claim, checked end to end from
+//! an on-disk artifact.
+//!
+//! Event recording is purely observational: a recorded run and a silent
+//! run of the same spec produce identical digests (pinned by a test
+//! here), so logging a run never changes what it reproduces.
+
+use crate::grammar::ScenarioSpec;
+use crate::oracle::CampaignDigest;
+use crate::shrink::ReplayError;
+use serde::{Deserialize, Serialize, Value};
+use ttt_core::{Campaign, Engine};
+use ttt_sim::EventLog;
+
+/// Format version of run-log artifacts.
+pub const RUN_LOG_VERSION: u32 = 1;
+
+/// Stable on-disk name of each engine (the `Engine` enum is not part of
+/// any serialization surface, so the artifact carries a string).
+pub fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::NextEvent => "next-event",
+        Engine::Lockstep => "lockstep",
+        Engine::ParallelSite => "parallel-site",
+    }
+}
+
+/// Inverse of [`engine_name`].
+pub fn parse_engine(name: &str) -> Option<Engine> {
+    match name {
+        "next-event" => Some(Engine::NextEvent),
+        "lockstep" => Some(Engine::Lockstep),
+        "parallel-site" => Some(Engine::ParallelSite),
+        _ => None,
+    }
+}
+
+/// One run's replayable record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunLogArtifact {
+    /// Artifact format version ([`RUN_LOG_VERSION`]).
+    pub version: u32,
+    /// Which engine drove the run (see [`engine_name`]).
+    pub engine: String,
+    /// The exact spec the run lowered.
+    pub spec: ScenarioSpec,
+    /// The digest the run produced, floats bitwise.
+    pub digest: CampaignDigest,
+    /// The structured event stream of the run.
+    pub events: EventLog,
+}
+
+impl RunLogArtifact {
+    /// Serialize to the version-tagged JSON envelope.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("run log serializes")
+    }
+
+    /// Parse an artifact. Shares [`ReplayError`] with reproducer dumps:
+    /// version mismatches and parse failures are reported (with the file
+    /// path when the caller attaches one), never panics.
+    pub fn from_json(json: &str) -> Result<RunLogArtifact, ReplayError> {
+        let value =
+            serde_json::parse(json).map_err(|e| ReplayError::parse(e.to_string()))?;
+        let version = value.as_object().and_then(|obj| {
+            obj.iter().find(|(k, _)| k == "version").map(|(_, v)| match v {
+                Value::I64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
+                Value::U64(n) => u32::try_from(*n).unwrap_or(u32::MAX),
+                _ => u32::MAX,
+            })
+        });
+        match version {
+            Some(RUN_LOG_VERSION) => {}
+            Some(found) => return Err(ReplayError::version(found)),
+            None => return Err(ReplayError::parse("run log has no \"version\" field")),
+        }
+        Deserialize::from_value(&value).map_err(|e| ReplayError::parse(e.to_string()))
+    }
+}
+
+/// Run `spec` under `engine` with event recording on, and package the
+/// result as a replayable artifact.
+pub fn run_logged(spec: &ScenarioSpec, engine: Engine) -> RunLogArtifact {
+    let mut campaign = Campaign::new(spec.campaign_config(engine));
+    campaign.record_events();
+    campaign.run();
+    let events = campaign
+        .take_event_log()
+        .expect("recording was enabled before the run");
+    RunLogArtifact {
+        version: RUN_LOG_VERSION,
+        engine: engine_name(engine).to_string(),
+        spec: spec.clone(),
+        digest: CampaignDigest::capture(&campaign),
+        events,
+    }
+}
+
+/// The outcome of replaying a run log: the fresh run's digest and events,
+/// diffed against the artifact's.
+#[derive(Debug, Clone)]
+pub struct RunLogReplay {
+    /// Digest fields that diverged (empty on a faithful replay; the
+    /// field names come from [`CampaignDigest::diff`], which excludes the
+    /// engine-private wake-reason mix).
+    pub digest_diff: Vec<&'static str>,
+    /// Whether the observable event streams (everything but `Wake`, which
+    /// only the next-event engine emits) match exactly.
+    pub events_match: bool,
+    /// The digest the replay produced.
+    pub digest: CampaignDigest,
+    /// The event log the replay produced.
+    pub events: EventLog,
+}
+
+impl RunLogReplay {
+    /// Did the replay reproduce the original run bit-for-bit?
+    pub fn is_identical(&self) -> bool {
+        self.digest_diff.is_empty() && self.events_match
+    }
+}
+
+/// Re-drive the campaign recorded in `artifact` and bitwise-diff the
+/// result against it. An unknown engine name is a [`ReplayError`] — it
+/// means the artifact came from a newer build, not that the run diverged.
+pub fn replay_run_log(artifact: &RunLogArtifact) -> Result<RunLogReplay, ReplayError> {
+    let engine = parse_engine(&artifact.engine).ok_or_else(|| {
+        ReplayError::parse(format!("unknown engine {:?} in run log", artifact.engine))
+    })?;
+    let fresh = run_logged(&artifact.spec, engine);
+    Ok(RunLogReplay {
+        digest_diff: fresh.digest.diff(&artifact.digest),
+        events_match: fresh.events.observably_equal(&artifact.events),
+        digest: fresh.digest,
+        events: fresh.events,
+    })
+}
+
+/// [`replay_run_log`] from a file on disk, every failure attributed to
+/// the path — the shape CI uses to re-check an uploaded trophy log.
+pub fn replay_run_log_file(path: &std::path::Path) -> Result<RunLogReplay, ReplayError> {
+    let shown = path.display().to_string();
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| ReplayError::parse(format!("cannot read file: {e}")).with_path(&shown))?;
+    let artifact = RunLogArtifact::from_json(&json).map_err(|e| e.with_path(&shown))?;
+    replay_run_log(&artifact).map_err(|e| e.with_path(&shown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::run_campaign;
+    use crate::shrink::ReplayErrorKind;
+
+    #[test]
+    fn recording_does_not_change_the_campaign() {
+        // The event log is observational: a recorded run must produce the
+        // same digest, bit for bit, as a silent run of the same spec.
+        let spec = ScenarioSpec::from_seed(5);
+        let silent = CampaignDigest::capture(&run_campaign(&spec, Engine::NextEvent));
+        let logged = run_logged(&spec, Engine::NextEvent);
+        assert_eq!(logged.digest.diff(&silent), Vec::<&str>::new());
+        assert!(!logged.events.is_empty(), "a campaign run must leave events");
+    }
+
+    #[test]
+    fn run_log_roundtrips_and_replays_identically() {
+        let spec = ScenarioSpec::from_seed(8);
+        let artifact = run_logged(&spec, Engine::NextEvent);
+        let json = artifact.to_json();
+        let back = RunLogArtifact::from_json(&json).unwrap();
+        assert_eq!(back, artifact);
+        let replay = replay_run_log(&back).unwrap();
+        assert!(
+            replay.is_identical(),
+            "replay diverged: digest fields {:?}, events_match {}",
+            replay.digest_diff,
+            replay.events_match
+        );
+    }
+
+    #[test]
+    fn every_engine_replays_its_own_log() {
+        let spec = ScenarioSpec::from_seed(2);
+        for engine in [Engine::NextEvent, Engine::Lockstep, Engine::ParallelSite] {
+            let artifact = run_logged(&spec, engine);
+            let replay = replay_run_log(&artifact).unwrap();
+            assert!(replay.is_identical(), "{} replay diverged", artifact.engine);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_observable_event_stream() {
+        // Wake events are engine-private; everything else is part of the
+        // campaign's observable behaviour and must match across engines.
+        let spec = ScenarioSpec::from_seed(4);
+        let next_event = run_logged(&spec, Engine::NextEvent);
+        for engine in [Engine::Lockstep, Engine::ParallelSite] {
+            let other = run_logged(&spec, engine);
+            assert!(
+                next_event.events.observably_equal(&other.events),
+                "{} event stream diverges from next-event",
+                other.engine
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_artifacts_are_reported_not_replayed() {
+        match RunLogArtifact::from_json("{\"version\": 99}") {
+            Err(ReplayError {
+                kind: ReplayErrorKind::Version { found: 99 },
+                ..
+            }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert!(RunLogArtifact::from_json("not json").is_err());
+        assert!(RunLogArtifact::from_json("{\"engine\": \"next-event\"}").is_err());
+
+        let mut artifact = run_logged(&ScenarioSpec::from_seed(3), Engine::NextEvent);
+        artifact.engine = "quantum".to_string();
+        assert!(replay_run_log(&artifact).is_err());
+    }
+}

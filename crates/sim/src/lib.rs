@@ -20,10 +20,12 @@
 //! * [`calendar`] — day/hour arithmetic, peak-hour windows, diurnal intensity;
 //! * [`backoff`] — the exponential-backoff retry policy of the paper's scheduler;
 //! * [`process`] — Poisson arrival processes and related samplers;
-//! * [`rpc`] — simulated process liveness, RPC envelopes, buggify.
+//! * [`rpc`] — simulated process liveness, RPC envelopes, buggify;
+//! * [`eventlog`] — structured append-only per-run event logs.
 
 pub mod backoff;
 pub mod calendar;
+pub mod eventlog;
 pub mod process;
 pub mod queue;
 pub mod rng;
@@ -33,6 +35,7 @@ pub mod time;
 
 pub use backoff::ExponentialBackoff;
 pub use calendar::{Calendar, HourRange, Weekday};
+pub use eventlog::{Event, EventLog};
 pub use process::PoissonProcess;
 pub use queue::{DrainDue, EventQueue};
 pub use rng::{stream_rng, RngFactory};

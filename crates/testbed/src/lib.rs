@@ -16,6 +16,7 @@ pub mod fault;
 pub mod gen;
 pub mod hardware;
 pub mod ids;
+pub mod link;
 pub mod node;
 pub mod perf;
 pub mod process;
@@ -33,9 +34,10 @@ pub use hardware::{
     NodeHardware, Vendor,
 };
 pub use ids::{ClusterId, NodeId, PduId, SiteId, SwitchId};
+pub use link::{DistanceTiered, Ideal, LinkModel, LinkModelSpec, Uniform};
 pub use node::{Node, NodeCondition};
 pub use process::{ProcessEntry, ProcessRegistry, ServiceId};
 pub use services::{Service, ServiceError, ServiceKind};
 pub use site::Site;
-pub use testbed::{CallFailure, Testbed, SERVICE_RESTART_WINDOW};
+pub use testbed::{CallFailure, RpcTraceEntry, Testbed, CONTROL_SITE, SERVICE_RESTART_WINDOW};
 pub use validate::validate;

@@ -5,6 +5,7 @@ use crate::cluster::Cluster;
 use crate::fault::{Fault, FaultId, FaultKind, FaultTarget};
 use crate::hardware::NodeHardware;
 use crate::ids::{ClusterId, NodeId, SiteId};
+use crate::link::{LinkModel, LinkModelSpec};
 use crate::node::Node;
 use crate::process::ProcessRegistry;
 use crate::services::{Service, ServiceError, ServiceHealth, ServiceKind};
@@ -18,6 +19,23 @@ use ttt_sim::{SimDuration, SimTime};
 /// How long a `ServiceRestart` fault keeps its process down before the
 /// campaign driver auto-repairs it (the restart completing *is* the repair).
 pub const SERVICE_RESTART_WINDOW: SimDuration = SimDuration::from_mins(30);
+
+/// The site the control plane (campaign driver, CI, deployment tooling)
+/// calls services *from*: the first site of the testbed. Link models price
+/// enveloped calls along the `CONTROL_SITE → target` backbone path.
+pub const CONTROL_SITE: SiteId = SiteId(0);
+
+/// One recorded envelope outcome, drained by a recording campaign into its
+/// run event log each step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcTraceEntry {
+    /// Target site of the call.
+    pub site: SiteId,
+    /// Service kind called.
+    pub kind: ServiceKind,
+    /// `"ok"` or the failure rendered.
+    pub outcome: String,
+}
 
 /// How an enveloped service call fails: either the RPC layer never reached
 /// the process (refused/dropped), or the process answered and its service
@@ -77,6 +95,13 @@ pub struct Testbed {
     /// The buggify switch for IO-shaped callsites, off unless the campaign
     /// config arms it.
     buggify: Buggify,
+    /// The backbone link model pricing inter-site calls and placement
+    /// probes. [`LinkModelSpec::Ideal`] (the default) is draw-free and
+    /// byte-identical to the pre-link-model behavior.
+    link_model: LinkModelSpec,
+    /// Envelope outcomes recorded since the last drain, `None` unless a
+    /// recording campaign enabled the trace (zero cost when off).
+    rpc_trace: Option<Vec<RpcTraceEntry>>,
 }
 
 impl Testbed {
@@ -104,6 +129,8 @@ impl Testbed {
             processes,
             rpc_degrade: vec![None; n_sites],
             buggify: Buggify::off(),
+            link_model: LinkModelSpec::Ideal,
+            rpc_trace: None,
             sites,
             clusters,
             nodes,
@@ -252,16 +279,92 @@ impl Testbed {
         self.buggify
     }
 
+    /// Install the backbone link model. The campaign driver sets this once
+    /// from its config before the first step; the default
+    /// [`LinkModelSpec::Ideal`] never draws and never adds latency, so
+    /// unconfigured campaigns are byte-identical to pre-link-model ones.
+    pub fn set_link_model(&mut self, model: LinkModelSpec) {
+        self.link_model = model;
+    }
+
+    /// The installed backbone link model.
+    pub fn link_model(&self) -> LinkModelSpec {
+        self.link_model
+    }
+
+    /// Enable (or disable) the envelope-outcome trace a recording campaign
+    /// drains into its run event log. Off by default and free when off.
+    pub fn set_rpc_trace(&mut self, on: bool) {
+        self.rpc_trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the envelope outcomes recorded since the last drain.
+    pub fn take_rpc_trace(&mut self) -> Vec<RpcTraceEntry> {
+        match self.rpc_trace.as_mut() {
+            Some(trace) => std::mem::take(trace),
+            None => Vec::new(),
+        }
+    }
+
+    /// Effective quality of the backbone path `from → to`: the link
+    /// model's figure for the pair, `None` for same-site hops or under the
+    /// ideal model. Partition state is separate — see
+    /// [`Testbed::backbone_reachable`].
+    pub fn path_quality(&self, from: SiteId, to: SiteId) -> Option<LinkQuality> {
+        self.link_model.quality(from, to)
+    }
+
+    /// Whether the backbone path between two sites is usable for placement
+    /// under the installed link model. With the ideal model the backbone
+    /// is free and placement ignores it (the historical behavior); with a
+    /// real model armed, a partitioned pair — or one whose modelled loss
+    /// makes the link mostly dead — is unreachable, so partitions become a
+    /// matter of degree the federation actually feels.
+    pub fn backbone_reachable(&self, a: SiteId, b: SiteId) -> bool {
+        if self.link_model.is_ideal() || a == b {
+            return true;
+        }
+        if !self.topology.sites_connected(a, b) {
+            return false;
+        }
+        self.link_model
+            .quality(a, b)
+            .is_none_or(|q| q.loss_prob < 0.5)
+    }
+
     /// Route one service call through the RPC envelope: liveness first
-    /// (a dead process refuses — no draw), then link loss on a degraded
-    /// site (one draw), then the buggify hook (one draw when armed), then
-    /// the service's own health logic. `Ok` carries the extra envelope
-    /// latency in seconds (0.0 on a healthy link).
+    /// (a dead process refuses — no draw), then the backbone link model on
+    /// the control-plane path (partitioned pair drops with no draw; a
+    /// lossy model costs one draw only when its `loss_prob > 0`), then
+    /// link loss on a degraded site (one draw), then the buggify hook (one
+    /// draw when armed), then the service's own health logic. `Ok` carries
+    /// the extra envelope latency in seconds (0.0 on a healthy link).
     ///
-    /// Draw counts depend only on fault state and the buggify arm — both
-    /// identical across engines for the same scenario — so the stream
-    /// stays engine-equivalent.
+    /// Draw counts depend only on fault state, the link model, and the
+    /// buggify arm — all identical across engines for the same scenario —
+    /// so the stream stays engine-equivalent. The ideal model (the
+    /// default) adds no draws and no latency anywhere.
     pub fn service_call<R: Rng>(
+        &mut self,
+        site: SiteId,
+        kind: ServiceKind,
+        rng: &mut R,
+    ) -> Result<f64, CallFailure> {
+        let result = self.service_call_inner(site, kind, rng);
+        if let Some(trace) = self.rpc_trace.as_mut() {
+            trace.push(RpcTraceEntry {
+                site,
+                kind,
+                outcome: match &result {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.to_string(),
+                },
+            });
+        }
+        result
+    }
+
+    fn service_call_inner<R: Rng>(
         &mut self,
         site: SiteId,
         kind: ServiceKind,
@@ -272,6 +375,20 @@ impl Testbed {
             return Err(CallFailure::Rpc(RpcError::Refused));
         }
         let mut latency = 0.0;
+        if let Some(q) = self.link_model.quality(CONTROL_SITE, site) {
+            // A non-ideal model makes partitions absolute: the modelled
+            // path crosses the backbone, and a downed link drops every
+            // call outright (no draw — the decision is topological).
+            if !self.topology.sites_connected(CONTROL_SITE, site) {
+                self.processes.note_lost_call(site, kind);
+                return Err(CallFailure::Rpc(RpcError::Dropped));
+            }
+            latency += q.latency_s;
+            if q.loss_prob > 0.0 && rng.gen_bool(q.loss_prob.clamp(0.0, 1.0)) {
+                self.processes.note_lost_call(site, kind);
+                return Err(CallFailure::Rpc(RpcError::Dropped));
+            }
+        }
         if let Some(q) = self.rpc_degrade[site.index()] {
             latency += q.latency_s;
             if rng.gen_bool(q.loss_prob.clamp(0.0, 1.0)) {
@@ -953,6 +1070,148 @@ mod tests {
         }
         let ratio = f64::from(transients) / 400.0;
         assert!((0.2..0.4).contains(&ratio), "buggify ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_link_model_is_byte_identical_to_no_model() {
+        // Arming Ideal explicitly must not change latency, outcomes, or the
+        // RNG stream relative to a testbed that never heard of link models.
+        let mut plain = tb();
+        let mut armed = tb();
+        armed.set_link_model(LinkModelSpec::Ideal);
+        let mut rng_a = ttt_sim::rng::stream_rng(7, "svc-call");
+        let mut rng_b = ttt_sim::rng::stream_rng(7, "svc-call");
+        for site in [plain.sites()[0].id, plain.sites()[1].id] {
+            for _ in 0..50 {
+                let a = plain.service_call(site, ServiceKind::ApiFrontend, &mut rng_a);
+                let b = armed.service_call(site, ServiceKind::ApiFrontend, &mut rng_b);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn uniform_link_model_adds_latency_off_site_only() {
+        let mut tb = tb();
+        tb.set_link_model(LinkModelSpec::Uniform {
+            latency_s: 0.02,
+            loss_prob: 0.0,
+        });
+        let mut rng = ttt_sim::rng::stream_rng(9, "svc-call");
+        // Control site itself stays free; a remote site pays the model's
+        // latency. loss_prob == 0 means no loss draw either way.
+        assert_eq!(
+            tb.service_call(CONTROL_SITE, ServiceKind::ApiFrontend, &mut rng),
+            Ok(0.0)
+        );
+        let remote = tb.sites()[1].id;
+        assert_ne!(remote, CONTROL_SITE);
+        assert_eq!(
+            tb.service_call(remote, ServiceKind::ApiFrontend, &mut rng),
+            Ok(0.02)
+        );
+    }
+
+    #[test]
+    fn lossy_link_model_drops_a_matching_share_of_calls() {
+        let mut tb = tb();
+        tb.set_link_model(LinkModelSpec::Uniform {
+            latency_s: 0.01,
+            loss_prob: 0.25,
+        });
+        let remote = tb.sites()[1].id;
+        let mut rng = ttt_sim::rng::stream_rng(11, "svc-call");
+        let mut dropped = 0u32;
+        for _ in 0..400 {
+            match tb.service_call(remote, ServiceKind::ApiFrontend, &mut rng) {
+                Ok(latency) => assert_eq!(latency, 0.01),
+                Err(CallFailure::Rpc(RpcError::Dropped)) => dropped += 1,
+                Err(other) => panic!("unexpected failure {other:?}"),
+            }
+        }
+        let ratio = f64::from(dropped) / 400.0;
+        assert!((0.15..0.35).contains(&ratio), "loss ratio {ratio}");
+    }
+
+    #[test]
+    fn partition_drops_calls_only_under_a_real_model() {
+        let mut tb = tb();
+        let remote = tb.sites()[1].id;
+        let mut rng = ttt_sim::rng::stream_rng(13, "svc-call");
+        tb.topology_mut().set_site_link(CONTROL_SITE, remote, false);
+        // Ideal model: the backbone is free, partition is invisible to the
+        // control-plane envelope (the historical behavior).
+        assert!(tb.service_call(remote, ServiceKind::ApiFrontend, &mut rng).is_ok());
+        assert!(tb.backbone_reachable(CONTROL_SITE, remote));
+        // A real model makes the partition absolute — every call drops,
+        // with no RNG draw.
+        tb.set_link_model(LinkModelSpec::Uniform {
+            latency_s: 0.005,
+            loss_prob: 0.0,
+        });
+        let mut untouched = rng.clone();
+        assert_eq!(
+            tb.service_call(remote, ServiceKind::ApiFrontend, &mut rng),
+            Err(CallFailure::Rpc(RpcError::Dropped))
+        );
+        assert_eq!(rng.gen::<u64>(), untouched.gen::<u64>(), "partition drop must not draw");
+        assert!(!tb.backbone_reachable(CONTROL_SITE, remote));
+        // Heal the link: calls flow again, with the model's latency.
+        tb.topology_mut().set_site_link(CONTROL_SITE, remote, true);
+        assert!(tb.backbone_reachable(CONTROL_SITE, remote));
+    }
+
+    #[test]
+    fn backbone_reachability_degrades_with_loss() {
+        let mut tb = tb();
+        let (a, b) = (tb.sites()[0].id, tb.sites()[1].id);
+        assert!(tb.backbone_reachable(a, b));
+        tb.set_link_model(LinkModelSpec::Uniform {
+            latency_s: 0.01,
+            loss_prob: 0.6,
+        });
+        // A mostly-dead link is unusable for placement even though it is
+        // not partitioned; same-site paths are always fine.
+        assert!(!tb.backbone_reachable(a, b));
+        assert!(tb.backbone_reachable(a, a));
+        tb.set_link_model(LinkModelSpec::Uniform {
+            latency_s: 0.01,
+            loss_prob: 0.1,
+        });
+        assert!(tb.backbone_reachable(a, b));
+    }
+
+    #[test]
+    fn rpc_trace_records_outcomes_when_enabled() {
+        let mut tb = tb();
+        let site = tb.sites()[0].id;
+        let mut rng = ttt_sim::rng::stream_rng(17, "svc-call");
+        // Off by default: nothing recorded, drains empty.
+        tb.service_call(site, ServiceKind::ApiFrontend, &mut rng).unwrap();
+        assert!(tb.take_rpc_trace().is_empty());
+        tb.set_rpc_trace(true);
+        tb.service_call(site, ServiceKind::ApiFrontend, &mut rng).unwrap();
+        let f = tb
+            .apply_fault(
+                FaultKind::ServiceCrash,
+                FaultTarget::Service(site, ServiceKind::OarServer),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        tb.service_call(site, ServiceKind::OarServer, &mut rng).unwrap_err();
+        let trace = tb.take_rpc_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].outcome, "ok");
+        assert_eq!(trace[1].site, site);
+        assert_eq!(trace[1].kind, ServiceKind::OarServer);
+        assert!(trace[1].outcome.contains("refused"), "{}", trace[1].outcome);
+        // Drain is destructive; disabling stops recording.
+        assert!(tb.take_rpc_trace().is_empty());
+        tb.set_rpc_trace(false);
+        tb.repair(f.id);
+        tb.service_call(site, ServiceKind::OarServer, &mut rng).unwrap();
+        assert!(tb.take_rpc_trace().is_empty());
     }
 
     #[test]
