@@ -4,7 +4,7 @@
 //! virtual time) and query cost, and asserts the observed rate is 1 Hz.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use ttt_bench::setup::paper_world;
 use ttt_kwapi::{MetricStore, PowerSampler};
@@ -14,7 +14,7 @@ use ttt_sim::{SimDuration, SimTime};
 fn bench_sampling(c: &mut Criterion) {
     let (tb, _, _) = paper_world();
     let sampler = PowerSampler::default();
-    let loads = HashMap::new();
+    let loads = BTreeMap::new();
     let mut rng = stream_rng(3, "bench-kwapi");
 
     c.bench_function("kwapi/sample_894_wattmeters_once", |b| {
@@ -64,7 +64,7 @@ fn bench_query(c: &mut Criterion) {
     let mut store = MetricStore::new(tb.nodes().len(), 3600, SimDuration::from_mins(1));
     sampler.run(
         &tb,
-        &HashMap::new(),
+        &BTreeMap::new(),
         SimTime::ZERO,
         SimTime::from_secs(600),
         &mut store,

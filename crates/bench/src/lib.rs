@@ -5,6 +5,8 @@
 //! throughput), while the paper-shaped outputs (tables/series) come from
 //! the `examples/` binaries — EXPERIMENTS.md records both.
 
+#![forbid(unsafe_code)]
+
 /// Re-exported so benches share one place for common setup.
 pub mod setup {
     use ttt_kadeploy::{standard_images, Environment};

@@ -10,6 +10,8 @@
 //!   rate, oldest first (the gap between "filed" and "fixed" in the paper
 //!   is exactly this bounded capacity).
 
+#![forbid(unsafe_code)]
+
 pub mod operator;
 pub mod tracker;
 

@@ -1,7 +1,7 @@
 //! The bug tracker.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use ttt_sim::SimTime;
 
@@ -58,7 +58,7 @@ pub struct BugTracker {
     bugs: Vec<Bug>,
     /// Signature → index of the currently-open bug for it, if any.
     #[serde(skip)]
-    open_by_signature: HashMap<String, usize>,
+    open_by_signature: BTreeMap<String, usize>,
 }
 
 impl BugTracker {

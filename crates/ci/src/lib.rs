@@ -13,6 +13,8 @@
 //!   never runs test logic itself;
 //! * [`rest`] — serializable views mirroring Jenkins' `/api/json`.
 
+#![forbid(unsafe_code)]
+
 pub mod matrix;
 pub mod model;
 pub mod rest;

@@ -18,7 +18,7 @@ use crate::metrics::CampaignMetrics;
 use crate::shard::ShardedRunQueue;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ttt_bugs::{BugTracker, OperatorModel};
 use ttt_ci::{BuildRef, BuildResult, Cause, CiServer, JobKind as CiJobKind, JobSpec, WorkItem};
 use ttt_jobsched::{ExternalScheduler, TestEntry};
@@ -102,7 +102,7 @@ pub struct Campaign {
     /// whose resources the test consumes).
     suite_home: Vec<Option<usize>>,
     /// ci job → cell → suite index (nested so lookups borrow, not clone).
-    by_key: HashMap<String, HashMap<Option<String>, usize>>,
+    by_key: BTreeMap<String, BTreeMap<Option<String>, usize>>,
     enabled: Vec<bool>,
     /// Naive mode: per-configuration next-due times.
     naive_due: Vec<SimTime>,
@@ -202,6 +202,9 @@ impl Campaign {
         }
 
         let mut fed = Federation::new(&tb, refapi.latest().expect("published"));
+        // Same seed/rate; the submit path only uses the rng-free hashed
+        // variant, so arming it never shifts a stream.
+        fed.set_buggify(ttt_sim::Buggify::new(cfg.seed, cfg.buggify_rate));
         let mut sched = ExternalScheduler::new(cfg.policy.clone(), Vec::new());
         if cfg.engine == Engine::ParallelSite {
             // The sharded engine's fan-outs: per-domain advance/sync and
@@ -223,7 +226,7 @@ impl Campaign {
                 trigger: None,
             });
         }
-        let mut by_key: HashMap<String, HashMap<Option<String>, usize>> = HashMap::new();
+        let mut by_key: BTreeMap<String, BTreeMap<Option<String>, usize>> = BTreeMap::new();
         for (i, c) in suite.iter().enumerate() {
             by_key
                 .entry(c.family.job_name().to_string())
@@ -239,10 +242,12 @@ impl Campaign {
         let kwapi = MetricStore::new(tb.nodes().len(), 600, SimDuration::from_mins(5));
         let n = suite.len();
         let sites = fed.len();
+        let mut userload = UserLoadGenerator::new(cfg.user_load.clone(), clusters)
+            .expect("a built testbed always has at least one cluster");
+        userload.set_buggify(ttt_sim::Buggify::new(cfg.seed, cfg.buggify_rate));
         Campaign {
             sched,
-            userload: UserLoadGenerator::new(cfg.user_load.clone(), clusters)
-                .expect("a built testbed always has at least one cluster"),
+            userload,
             injector: FaultInjector::new(cfg.injector.clone()),
             operators: OperatorModel::new(cfg.operator_capacity_per_week, cfg.operator_triage),
             rng_inject: rngs.stream("inject"),

@@ -19,6 +19,8 @@
 //! numbers (118 bugs filed / 84 fixed, success rate 85 % → 93 %); the other
 //! constructors support the scheduling-policy and ablation experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod config;
 pub mod matching;

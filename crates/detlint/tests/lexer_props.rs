@@ -1,0 +1,94 @@
+//! Property tests for the lexer: the token partition invariant must
+//! hold for arbitrary inputs, including pathological mixes of quotes,
+//! comment markers and backslashes.
+
+use proptest::prelude::*;
+use ttt_detlint::lexer::{code_view, lex, line_index, line_of, TokKind};
+
+/// Tokens must cover every byte, in order, with no gaps or overlaps.
+fn assert_partition(src: &str) {
+    let toks = lex(src);
+    let mut at = 0usize;
+    for t in &toks {
+        assert_eq!(t.start, at, "gap or overlap at byte {at} in {src:?}");
+        assert!(t.end > t.start, "empty token in {src:?}");
+        at = t.end;
+    }
+    assert_eq!(at, src.len(), "tokens do not cover {src:?}");
+    // Concatenating the token texts round-trips the input.
+    let rebuilt: String = toks.iter().map(|t| &src[t.start..t.end]).collect();
+    assert_eq!(rebuilt, src);
+}
+
+/// Characters likely to trip the lexer: comment markers, quotes,
+/// escapes, raw-string prefixes and hashes, braces, newlines.
+const SOUP: &[char] = &[
+    '/', '*', '"', '\'', '\\', 'r', 'b', '#', ' ', '\n', 'a', 'c', '{', '}', 'é',
+];
+
+fn soup(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..SOUP.len(), 0..max_len)
+        .prop_map(|ixs| ixs.into_iter().map(|i| SOUP[i]).collect())
+}
+
+proptest! {
+    /// Strings rich in lexer trigger characters partition cleanly.
+    #[test]
+    fn partition_trigger_soup(src in soup(40)) {
+        assert_partition(&src);
+    }
+
+    /// The code view never changes length and never un-blanks bytes.
+    #[test]
+    fn code_view_same_length(src in soup(40)) {
+        let toks = lex(&src);
+        let view = code_view(&src, &toks);
+        prop_assert_eq!(view.len(), src.len());
+        // Newlines survive in place.
+        for (a, b) in src.bytes().zip(view.bytes()) {
+            prop_assert_eq!(a == b'\n', b == b'\n');
+        }
+    }
+
+    /// line_of agrees with a naive newline count.
+    #[test]
+    fn line_of_matches_naive(src in soup(30), frac in 0.0f64..1.0) {
+        let idx = line_index(&src);
+        let at = ((src.len() as f64) * frac) as usize;
+        let mut at = at.min(src.len());
+        while !src.is_char_boundary(at) {
+            at -= 1;
+        }
+        let naive = src.as_bytes()[..at]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count() as u32
+            + 1;
+        prop_assert_eq!(line_of(&idx, at), naive);
+    }
+}
+
+#[test]
+fn partition_realistic_rust() {
+    let src = r##"
+//! Doc comment with `HashMap` mention.
+use std::collections::BTreeMap; // trailing note
+fn main() {
+    let s = "string with // and /* markers";
+    let r = r#"raw "quoted" body"#;
+    let c = '\''; let lt: &'static str = "x";
+    /* block /* nested */ done */
+    println!("{s}{r}{c}{lt}");
+}
+"##;
+    assert_partition(src);
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokKind::RawStr));
+    assert!(toks.iter().any(|t| t.kind == TokKind::BlockComment));
+    assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    let view = code_view(src, &toks);
+    // Every flagged word lives only in comments/strings here.
+    assert!(!view.contains("HashMap"));
+    assert!(!view.contains("markers"));
+    assert!(!view.contains("nested"));
+}

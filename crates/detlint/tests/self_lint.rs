@@ -1,0 +1,67 @@
+//! The workspace gate: `cargo test` runs detlint over this repository
+//! against the committed baseline, so determinism debt cannot grow —
+//! and new buggify callsites cannot land unregistered — without this
+//! test failing.
+
+use std::path::Path;
+use ttt_detlint::{lint, ratchet, render_human, sim_registry, Baseline, Workspace};
+
+fn repo_root() -> &'static Path {
+    // crates/detlint/../.. — the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_under_the_ratchet() {
+    let root = repo_root();
+    let ws = Workspace::load(root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks wrong: {} files",
+        ws.files.len()
+    );
+    let report = lint(&ws.files, &sim_registry());
+
+    let baseline_path = root.join("detlint-baseline.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("committed baseline exists");
+    let baseline: Baseline = serde_json::from_str(&text).expect("baseline parses");
+
+    let outcome = ratchet(&report, &baseline);
+    assert!(
+        outcome.clean(),
+        "detlint ratchet failed:\n{}",
+        render_human(&report, Some(&outcome))
+    );
+}
+
+#[test]
+fn registry_and_code_agree_exactly() {
+    let ws = Workspace::load(repo_root()).expect("workspace loads");
+    let report = lint(&ws.files, &sim_registry());
+    let reconciliation: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| {
+            v.rule == "unregistered-buggify-callsite" || v.rule == "stale-buggify-registration"
+        })
+        .collect();
+    assert!(
+        reconciliation.is_empty(),
+        "registry drift: {reconciliation:?}"
+    );
+}
+
+#[test]
+fn every_crate_root_forbids_unsafe() {
+    let ws = Workspace::load(repo_root()).expect("workspace loads");
+    let report = lint(&ws.files, &sim_registry());
+    let missing: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "require-forbid-unsafe")
+        .collect();
+    assert!(missing.is_empty(), "crate roots lacking forbid: {missing:?}");
+}

@@ -17,6 +17,8 @@
 //!   resource request + cadence);
 //! * [`scheduler`] — the decision loop and per-configuration retry state.
 
+#![forbid(unsafe_code)]
+
 pub mod entry;
 pub mod scheduler;
 

@@ -4,7 +4,7 @@ use crate::entry::TestEntry;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ttt_ci::{Cause, CiServer};
 use ttt_oar::AvailabilityProbe;
 use ttt_sim::{Calendar, EventQueue, ExponentialBackoff, HourRange, SimDuration, SimTime};
@@ -76,7 +76,7 @@ pub struct ExternalScheduler {
     entries: Vec<TestEntry>,
     states: Vec<EntryState>,
     /// Entry id → index (O(1) completion callbacks).
-    by_id: HashMap<String, usize>,
+    by_id: BTreeMap<String, usize>,
     /// Entry indices keyed by their `next_due` instant. Every due-date
     /// assignment pushes here; superseded entries are skipped lazily (an
     /// entry is live only while its popped time equals the entry's current
@@ -89,7 +89,7 @@ pub struct ExternalScheduler {
     /// concurrency cap needs no string hashing on the decision path.
     site_of: Vec<usize>,
     site_names: Vec<String>,
-    site_ids: HashMap<String, usize>,
+    site_ids: BTreeMap<String, usize>,
     /// Count of in-flight entries per interned site.
     active_per_site: Vec<usize>,
     /// Worker-pool width the probe precompute assumes: 1 (the default)
@@ -147,7 +147,7 @@ impl ExternalScheduler {
             due_scratch: Vec::new(),
             site_of: Vec::new(),
             site_names: Vec::new(),
-            site_ids: HashMap::new(),
+            site_ids: BTreeMap::new(),
             active_per_site: Vec::new(),
             pool_width: 1,
             stats: SchedulerStats::default(),

@@ -13,6 +13,8 @@
 //!   (SetDeploymentEnv → BroadcastEnv → BootNewEnv) with a chain-broadcast
 //!   timing model and per-step failure/retry handling.
 
+#![forbid(unsafe_code)]
+
 pub mod env;
 pub mod kameleon;
 pub mod server;

@@ -9,7 +9,7 @@ use crate::env::Environment;
 use crate::workflow::{DeployReport, Deployer};
 use rand::Rng;
 use std::collections::VecDeque;
-use ttt_sim::SimTime;
+use ttt_sim::{Buggify, SimTime};
 use ttt_testbed::{NodeId, SiteId, Testbed};
 
 /// Identifier of a queued deployment.
@@ -59,6 +59,8 @@ pub struct KadeployServer {
     finished: Vec<Finished>,
     next_id: u64,
     now: SimTime,
+    buggify: Buggify,
+    admit_attempts: u64,
 }
 
 impl KadeployServer {
@@ -77,7 +79,14 @@ impl KadeployServer {
             finished: Vec::new(),
             next_id: 0,
             now: SimTime::ZERO,
+            buggify: Buggify::off(),
+            admit_attempts: 0,
         }
+    }
+
+    /// Arm (or disarm) buggify fault injection on the admission path.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
     }
 
     /// Enqueue a deployment of `env` to `nodes` (must share one site).
@@ -133,7 +142,17 @@ impl KadeployServer {
                 let start = pending.queued_at.max(cursor);
                 let process_up =
                     tb.process_up(pending.site, ttt_testbed::ServiceKind::KadeployServer);
-                if process_up && site_busy < self.per_site_slots && start <= to {
+                let admissible = process_up && site_busy < self.per_site_slots && start <= to;
+                // Buggify: occasionally defer an admissible deployment for one
+                // pass. The monotone attempt counter salts the hash so a
+                // deferred deployment is retried under a fresh draw and can
+                // never be starved.
+                let deferred = admissible && {
+                    self.admit_attempts += 1;
+                    self.buggify
+                        .fire_hashed("kadeploy-admission", self.admit_attempts)
+                };
+                if admissible && !deferred {
                     let report = self.deployer.deploy(tb, &pending.env, &pending.nodes, rng);
                     let ends_at = start + report.makespan;
                     self.running.push(Running {

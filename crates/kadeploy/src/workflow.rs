@@ -254,7 +254,7 @@ impl Deployer {
             // handshake. Transient — the retry round rescues it. Rate 0
             // (the default) draws nothing, keeping unarmed campaigns
             // byte-identical.
-            if tb.buggify().fire(rng) {
+            if tb.buggify().fire("kadeploy-pxe", rng) {
                 outcomes.push((id, NodeOutcome::Failed {
                     step: MacroStep::SetDeploymentEnv,
                     reason: "buggify: deployment kernel lost on the wire".into(),

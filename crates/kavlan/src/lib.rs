@@ -15,6 +15,8 @@
 //! isolation is broken, which is exactly what the `kavlan` test family
 //! detects by probing reachability in both directions.
 
+#![forbid(unsafe_code)]
+
 pub mod manager;
 
 pub use manager::{KavlanManager, Vlan, VlanId, VlanKind, DEFAULT_VLAN};

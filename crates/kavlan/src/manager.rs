@@ -1,7 +1,7 @@
 //! VLAN state and reachability model.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ttt_sim::SimDuration;
 use ttt_testbed::{NodeId, SiteId, Testbed};
 
@@ -42,7 +42,7 @@ pub struct KavlanManager {
     vlans: Vec<Vlan>,
     /// Which VLAN each node's switch port is actually in. Nodes not present
     /// are in the default VLAN.
-    assignment: HashMap<NodeId, VlanId>,
+    assignment: BTreeMap<NodeId, VlanId>,
     /// Per-port reconfiguration latency.
     port_reconf: SimDuration,
     next_id: u16,
@@ -63,7 +63,7 @@ impl KavlanManager {
                 kind: VlanKind::Default,
                 site: None,
             }],
-            assignment: HashMap::new(),
+            assignment: BTreeMap::new(),
             port_reconf: SimDuration::from_millis(1500),
             next_id: 1,
         }

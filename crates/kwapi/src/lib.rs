@@ -12,6 +12,8 @@
 //!   A's dashboard show node B's power, the paper's "wrong measurements by
 //!   testbed monitoring service" bug.
 
+#![forbid(unsafe_code)]
+
 pub mod series;
 pub mod store;
 

@@ -2,7 +2,7 @@
 
 use crate::series::RingSeries;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ttt_sim::{SimDuration, SimTime};
 use ttt_testbed::{perf, NodeId, SiteId, Testbed};
 
@@ -71,7 +71,7 @@ impl PowerSampler {
     pub fn sample_all<R: Rng>(
         &self,
         tb: &Testbed,
-        loads: &HashMap<NodeId, f64>,
+        loads: &BTreeMap<NodeId, f64>,
         t: SimTime,
         store: &mut MetricStore,
         rng: &mut R,
@@ -86,7 +86,7 @@ impl PowerSampler {
         &self,
         tb: &Testbed,
         site: SiteId,
-        loads: &HashMap<NodeId, f64>,
+        loads: &BTreeMap<NodeId, f64>,
         t: SimTime,
         store: &mut MetricStore,
         rng: &mut R,
@@ -98,7 +98,7 @@ impl PowerSampler {
         &self,
         tb: &Testbed,
         site: Option<SiteId>,
-        loads: &HashMap<NodeId, f64>,
+        loads: &BTreeMap<NodeId, f64>,
         t: SimTime,
         store: &mut MetricStore,
         rng: &mut R,
@@ -135,7 +135,7 @@ impl PowerSampler {
         &self,
         tb: &Testbed,
         site: SiteId,
-        loads: &HashMap<NodeId, f64>,
+        loads: &BTreeMap<NodeId, f64>,
         from: SimTime,
         to: SimTime,
         store: &mut MetricStore,
@@ -153,7 +153,7 @@ impl PowerSampler {
     pub fn run<R: Rng>(
         &self,
         tb: &Testbed,
-        loads: &HashMap<NodeId, f64>,
+        loads: &BTreeMap<NodeId, f64>,
         from: SimTime,
         to: SimTime,
         store: &mut MetricStore,
@@ -192,7 +192,7 @@ mod tests {
         let sampler = PowerSampler::default();
         sampler.run(
             &tb,
-            &HashMap::new(),
+            &BTreeMap::new(),
             SimTime::ZERO,
             SimTime::from_secs(60),
             &mut store,
@@ -216,7 +216,7 @@ mod tests {
         let mut rng = stream_rng(2, "kwapi");
         let sampler = PowerSampler::default();
         let target = tb.nodes()[0].id;
-        let mut loads = HashMap::new();
+        let mut loads = BTreeMap::new();
         loads.insert(target, 1.0);
         sampler.run(
             &tb,
@@ -250,7 +250,7 @@ mod tests {
         let mut rng = stream_rng(3, "kwapi");
         let sampler = PowerSampler::default();
         // Load node a only.
-        let mut loads = HashMap::new();
+        let mut loads = BTreeMap::new();
         loads.insert(a, 1.0);
         sampler.run(
             &tb,
@@ -278,7 +278,7 @@ mod tests {
         let mut rng = stream_rng(4, "kwapi");
         PowerSampler::default().sample_all(
             &tb,
-            &HashMap::new(),
+            &BTreeMap::new(),
             SimTime::from_secs(1),
             &mut store,
             &mut rng,

@@ -12,6 +12,8 @@
 //! families of `ttt-suite`, which is the paper's argument for testing the
 //! whole testbed and not just node conformity.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod probe;
 

@@ -23,10 +23,10 @@ use crate::ast::ResourceRequest;
 use crate::job::{Job, JobId, JobKind, JobState, Queue};
 use crate::server::{NodeState, OarServer, ResourceDb, SubmitError};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use ttt_refapi::TestbedDescription;
-use ttt_sim::SimTime;
+use ttt_sim::{Buggify, SimTime};
 use ttt_testbed::{NodeId, ServiceKind, SiteId, Testbed};
 
 /// Fewest candidate domains for which a speculative parallel placement
@@ -112,9 +112,9 @@ impl AvailabilityProbe for Federation {
 pub struct Federation {
     domains: Vec<SiteDomain>,
     /// Cluster name → owning domain index.
-    domain_of_cluster: HashMap<String, usize>,
+    domain_of_cluster: BTreeMap<String, usize>,
     /// Site name → domain index.
-    domain_of_site: HashMap<String, usize>,
+    domain_of_site: BTreeMap<String, usize>,
     /// Jobs placed off their home domain (the spillover counter is an
     /// engine-equivalence observable).
     spillovers: u64,
@@ -129,6 +129,12 @@ pub struct Federation {
     /// and placement ignores it entirely (the historical behavior).
     backbone: Option<Vec<bool>>,
     now: SimTime,
+    /// Chaos hook: when armed, the federation gateway can lose a
+    /// submission before placement. Off by default.
+    buggify: Buggify,
+    /// Monotone count of gateway submission attempts (rng-free buggify
+    /// salt; retries draw fresh salts — delay, never starvation).
+    submit_attempts: u64,
     /// Whether the value-deterministic fan-outs (per-domain advance,
     /// dirty-node sync, placement probes) dispatch to the worker pool.
     /// Worker-pool width the parallel fan-out paths assume: 1 (the
@@ -149,8 +155,8 @@ impl Federation {
         // node state and reservations, never in properties.
         let db = Arc::new(ResourceDb::load(tb, desc));
         let mut domains = Vec::with_capacity(tb.sites().len());
-        let mut domain_of_site = HashMap::new();
-        let mut domain_of_cluster = HashMap::new();
+        let mut domain_of_site = BTreeMap::new();
+        let mut domain_of_cluster = BTreeMap::new();
         for (i, site) in tb.sites().iter().enumerate() {
             let mut oar = OarServer::with_db(Arc::clone(&db));
             for node in tb.nodes() {
@@ -178,7 +184,19 @@ impl Federation {
             co_allocations: 0,
             backbone: None,
             now: SimTime::ZERO,
+            buggify: Buggify::off(),
+            submit_attempts: 0,
             pool_width: 1,
+        }
+    }
+
+    /// Arm (or disarm) chaos on the federation gateway and fan the switch
+    /// out to every domain's OAR server. The campaign driver calls this
+    /// once at construction; rate 0 keeps everything byte-identical.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
+        for d in &mut self.domains {
+            d.oar.set_buggify(buggify);
         }
     }
 
@@ -501,6 +519,14 @@ impl Federation {
         request: ResourceRequest,
         home: Option<usize>,
     ) -> Result<FedJob, SubmitError> {
+        // Buggify: the grid gateway loses the submission before placement
+        // (the oargridsub wrapper's RPC never reaches a server). Hashed
+        // from a monotone attempt counter — engine-order independent, and
+        // a retried submission draws a fresh salt.
+        self.submit_attempts += 1;
+        if self.buggify.fire_hashed("fed-submit", self.submit_attempts) {
+            return Err(SubmitError::TransientlyRefused);
+        }
         let home = home.or_else(|| self.home_of_request(&request));
         match self.place(home, &request) {
             Placement::Immediate(d) | Placement::Queued(d) => {

@@ -19,6 +19,8 @@
 //!   saturation spillover and cross-site co-allocation (the multi-site
 //!   structure of the real testbed, first-class).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod cli;
 pub mod eval;

@@ -14,10 +14,11 @@ use crate::ast::{Count, Expr, Level, RequestGroup, ResourceRequest};
 use crate::eval::eval;
 use crate::gantt::{EndIndex, NodeTimeline};
 use crate::job::{Job, JobId, JobKind, JobState, Queue};
+// detlint: allow(no-unordered-iteration) -- HashMap/HashSet here back the match cache and waiting-set membership test only; neither is ever iterated
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, RwLock};
 use ttt_refapi::{all_properties, PropertyMap, TestbedDescription};
-use ttt_sim::{EventQueue, SimDuration, SimTime};
+use ttt_sim::{Buggify, EventQueue, SimDuration, SimTime};
 use ttt_testbed::{ClusterId, NodeId, Testbed};
 
 /// OAR node states (slide 21's `oarstate` family checks these).
@@ -40,6 +41,10 @@ pub enum SubmitError {
     Unsatisfiable,
     /// The request is structurally invalid (e.g. zero nodes).
     InvalidRequest(String),
+    /// Transient refusal (buggify chaos): the server or gateway dropped
+    /// the submission. Retrying later succeeds — callers treat it like any
+    /// other failed submission (users move on, the campaign backs off).
+    TransientlyRefused,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -47,6 +52,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Unsatisfiable => f.write_str("request can never be satisfied"),
             SubmitError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            SubmitError::TransientlyRefused => f.write_str("submission transiently refused"),
         }
     }
 }
@@ -83,7 +89,7 @@ pub struct ResourceDb {
     cluster_names: Vec<String>,
     /// Cluster name → id, used once when resolving a filter's string
     /// cluster reference; everything downstream carries the `ClusterId`.
-    cluster_ids: HashMap<String, ClusterId>,
+    cluster_ids: BTreeMap<String, ClusterId>,
     /// Node ids per cluster (`ClusterId`-indexed), in node order.
     nodes_of_cluster: Vec<Vec<NodeId>>,
     /// All node ids (scan fallback for cluster-agnostic filters).
@@ -91,6 +97,7 @@ pub struct ResourceDb {
     /// Cached match-sets: filter → nodes whose properties satisfy it.
     /// Property-only (state filtered per query), hence valid across every
     /// domain sharing the database.
+    // detlint: allow(no-unordered-iteration) -- lookup-only cache on the placement hot path (Expr is not Ord); never iterated, so its order cannot leak
     match_cache: RwLock<HashMap<Expr, Arc<Vec<NodeId>>>>,
 }
 
@@ -117,6 +124,7 @@ impl ResourceDb {
                 .collect(),
             nodes_of_cluster: tb.clusters().iter().map(|c| c.nodes.clone()).collect(),
             all_nodes: (0..tb.nodes().len()).map(NodeId::from).collect(),
+            // detlint: allow(no-unordered-iteration) -- see the field: lookup-only cache, never iterated
             match_cache: RwLock::new(HashMap::new()),
         }
     }
@@ -174,6 +182,7 @@ pub struct OarServer {
     /// from `waiting_set` only; stale deque entries are skipped lazily, so
     /// no O(n) `retain` runs per job.
     waiting: VecDeque<JobId>,
+    // detlint: allow(no-unordered-iteration) -- hot membership test mirroring `waiting` (which owns the order); never iterated
     waiting_set: HashSet<JobId>,
     /// Scratch deque reused by scheduling passes.
     waiting_scratch: VecDeque<JobId>,
@@ -191,6 +200,13 @@ pub struct OarServer {
     /// underneath stay alive — deliberately distinct from a site blackout,
     /// where `alive_nodes()` drops to zero.
     process_up: bool,
+    /// Chaos hook: when armed, a submission can be transiently refused.
+    /// Off by default; rate 0 keeps unarmed campaigns byte-identical.
+    buggify: Buggify,
+    /// Monotone count of submission attempts — the rng-free buggify salt.
+    /// A refused submission retried later draws a fresh salt, so chaos
+    /// delays work but can never starve it.
+    submit_attempts: u64,
 }
 
 impl OarServer {
@@ -211,6 +227,7 @@ impl OarServer {
             timelines: (0..n).map(|_| NodeTimeline::new()).collect(),
             jobs: BTreeMap::new(),
             waiting: VecDeque::new(),
+            // detlint: allow(no-unordered-iteration) -- see the field: membership only
             waiting_set: HashSet::new(),
             waiting_scratch: VecDeque::new(),
             next_job: 1,
@@ -220,7 +237,15 @@ impl OarServer {
             last_replan_check: SimTime::ZERO,
             last_gc: SimTime::ZERO,
             process_up: true,
+            buggify: Buggify::off(),
+            submit_attempts: 0,
         }
+    }
+
+    /// Arm (or disarm) the submission chaos hook. The campaign driver
+    /// fans this out to every domain's server at construction.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
     }
 
     /// Whether the OAR server process itself is up (accepting calls).
@@ -393,6 +418,15 @@ impl OarServer {
         kind: JobKind,
         request: ResourceRequest,
     ) -> Result<JobId, SubmitError> {
+        // Buggify: the server transiently refuses a submission (dropped
+        // RPC, briefly saturated daemon). Hashed from a monotone attempt
+        // counter — no RNG draw, identical across engines, and a retry
+        // gets a fresh salt. User arrivals count it as a rejection; the
+        // campaign's test path marks the build unstable and backs off.
+        self.submit_attempts += 1;
+        if self.buggify.fire_hashed("oar-submit", self.submit_attempts) {
+            return Err(SubmitError::TransientlyRefused);
+        }
         self.validate(&request)?;
         let id = JobId(self.next_job);
         self.next_job += 1;

@@ -15,7 +15,7 @@ use crate::server::OarServer;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::fmt;
-use ttt_sim::{Calendar, PoissonProcess, SimDuration, SimTime};
+use ttt_sim::{Buggify, Calendar, PoissonProcess, SimDuration, SimTime};
 
 /// Why a [`UserLoadGenerator`] could not be constructed.
 ///
@@ -110,6 +110,12 @@ pub struct UserLoadGenerator {
     clusters: Vec<String>,
     next_candidate: Option<SimTime>,
     submitted: u64,
+    /// Chaos hook: when armed, an arrival's submission RPC can be lost on
+    /// the wire (counted as a rejection). Off by default.
+    buggify: Buggify,
+    /// Monotone count of kept (non-thinned) arrivals — the rng-free
+    /// buggify salt.
+    arrivals: u64,
 }
 
 impl UserLoadGenerator {
@@ -127,7 +133,15 @@ impl UserLoadGenerator {
             clusters,
             next_candidate: None,
             submitted: 0,
+            buggify: Buggify::off(),
+            arrivals: 0,
         })
+    }
+
+    /// Arm (or disarm) the lost-submission chaos hook. Rate 0 keeps the
+    /// arrival and draw streams byte-identical to an unarmed generator.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
     }
 
     /// Number of jobs submitted so far.
@@ -187,10 +201,17 @@ impl UserLoadGenerator {
                 target.advance(t);
                 let request = self.draw_request(rng);
                 let user = format!("user{}", rng.gen_range(0..50));
+                // Buggify: the submission RPC is lost on the wire. The
+                // request and user draws above already happened, so the
+                // RNG stream stays aligned with the unarmed schedule and
+                // the decision itself is a pure hash of the monotone
+                // arrival counter — identical across engines.
+                self.arrivals += 1;
+                let dropped = self.buggify.fire_hashed("userload-submit", self.arrivals);
                 // Unsatisfiable draws (e.g. a whole dead cluster or site)
                 // are simply dropped — real users would see the error and
                 // move on.
-                if target.submit_user(&user, request) {
+                if !dropped && target.submit_user(&user, request) {
                     self.submitted += 1;
                 }
             }

@@ -15,6 +15,8 @@
 //! *actual* hardware without touching the description, creating exactly the
 //! inaccuracies g5k-checks (`ttt-nodecheck`) exists to detect.
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 pub mod description;
 pub mod diff;

@@ -203,6 +203,7 @@ fn run_fuzz_mode(
         _ => Corpus::new(),
     };
 
+    // detlint: allow(no-wall-clock) -- operator-facing timing, not simulation state
     let started = Instant::now();
     let starting = corpus.len();
     let report = run_fuzz(&cfg, corpus);
@@ -371,6 +372,7 @@ fn main() {
         },
         rayon::current_num_threads()
     );
+    // detlint: allow(no-wall-clock) -- operator-facing timing, not simulation state
     let started = Instant::now();
     let report = if service_chaos {
         run_swarm_service_chaos(&seeds, &oracles, shrink)

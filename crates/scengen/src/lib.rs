@@ -35,6 +35,8 @@
 //! assert!(report.all_passed());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod corpus;
 pub mod coverage;
 pub mod grammar;

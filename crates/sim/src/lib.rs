@@ -23,6 +23,8 @@
 //! * [`rpc`] — simulated process liveness, RPC envelopes, buggify;
 //! * [`eventlog`] — structured append-only per-run event logs.
 
+#![forbid(unsafe_code)]
+
 pub mod backoff;
 pub mod calendar;
 pub mod eventlog;
@@ -39,6 +41,6 @@ pub use eventlog::{Event, EventLog};
 pub use process::PoissonProcess;
 pub use queue::{DrainDue, EventQueue};
 pub use rng::{stream_rng, RngFactory};
-pub use rpc::{Buggify, LinkQuality, Liveness, RpcError};
+pub use rpc::{buggify_callsite, Buggify, BuggifyCallsite, LinkQuality, Liveness, RpcError, BUGGIFY_CALLSITES};
 pub use stats::{Histogram, OnlineStats, PeriodSeries};
 pub use time::{SimDuration, SimTime};

@@ -42,6 +42,77 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One registered buggify callsite: the runtime half of the workspace
+/// buggify-surface census.
+///
+/// Every `Buggify::fire`/`Buggify::fire_hashed` call in non-test code
+/// names its callsite with a string literal, and that name must appear
+/// here. `detlint`'s static audit scans the workspace for fire sites and
+/// reconciles them against this registry in both directions — a fire with
+/// an unregistered name and a registration with no surviving fire are both
+/// lint violations — so the registry IS the authoritative list of armed
+/// chaos injection points, and the covered/total density the audit reports
+/// per service crate can never silently drift from the code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuggifyCallsite {
+    /// The literal name passed at the fire site (kebab-case, prefixed by
+    /// the owning subsystem).
+    pub name: &'static str,
+    /// The crate whose code contains the fire site.
+    pub crate_name: &'static str,
+    /// What firing perturbs, in one line.
+    pub what: &'static str,
+}
+
+/// Every registered buggify callsite in the workspace.
+pub const BUGGIFY_CALLSITES: &[BuggifyCallsite] = &[
+    BuggifyCallsite {
+        name: "kadeploy-pxe",
+        crate_name: "ttt_kadeploy",
+        what: "a deployment round loses the PXE handshake on one node (retry round rescues it)",
+    },
+    BuggifyCallsite {
+        name: "kadeploy-admission",
+        crate_name: "ttt_kadeploy",
+        what: "a queued deployment's slot admission hiccups for one pass (delay, never starvation)",
+    },
+    BuggifyCallsite {
+        name: "testbed-service-call",
+        crate_name: "ttt_testbed",
+        what: "an enveloped service call surfaces a transient service error",
+    },
+    BuggifyCallsite {
+        name: "ci-assign",
+        crate_name: "ttt_ci",
+        what: "an executor assignment spuriously defers; the build stays queued for the next round",
+    },
+    BuggifyCallsite {
+        name: "kwapi-sample",
+        crate_name: "ttt_kwapi",
+        what: "a wattmeter read is lost; the sample is skipped",
+    },
+    BuggifyCallsite {
+        name: "oar-submit",
+        crate_name: "ttt_oar",
+        what: "the OAR server transiently refuses a submission (caller retries or drops)",
+    },
+    BuggifyCallsite {
+        name: "fed-submit",
+        crate_name: "ttt_oar",
+        what: "the federation gateway loses a submission before placement",
+    },
+    BuggifyCallsite {
+        name: "userload-submit",
+        crate_name: "ttt_oar",
+        what: "a user's submission RPC is dropped on the wire; the arrival is counted as rejected",
+    },
+];
+
+/// Look up a registered callsite by name.
+pub fn buggify_callsite(name: &str) -> Option<&'static BuggifyCallsite> {
+    BUGGIFY_CALLSITES.iter().find(|c| c.name == name)
+}
+
 /// Liveness of one simulated service process.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Liveness {
@@ -148,7 +219,12 @@ impl Buggify {
 
     /// Fire using a caller-owned RNG stream. Draws nothing when disabled,
     /// so turning buggify off never shifts an existing stream.
-    pub fn fire<R: Rng>(&self, rng: &mut R) -> bool {
+    ///
+    /// `callsite` names the injection point; non-test callers must pass a
+    /// string literal registered in [`BUGGIFY_CALLSITES`] — the static
+    /// buggify-surface audit reconciles the two views.
+    pub fn fire<R: Rng>(&self, callsite: &'static str, rng: &mut R) -> bool {
+        let _ = callsite; // consumed by the static audit, not at runtime
         self.enabled() && rng.gen_bool(self.rate)
     }
 
@@ -185,7 +261,7 @@ mod tests {
         let mut a = stream_rng(1, "buggify");
         let mut c = stream_rng(1, "buggify");
         for _ in 0..64 {
-            assert!(!b.fire(&mut a));
+            assert!(!b.fire("test-site", &mut a));
         }
         // The stream was not consumed at all.
         assert_eq!(a.gen::<u64>(), c.gen::<u64>());
@@ -196,7 +272,7 @@ mod tests {
     fn enabled_buggify_fires_at_roughly_the_rate() {
         let b = Buggify::new(7, 0.2);
         let mut rng = stream_rng(7, "buggify");
-        let fired = (0..5000).filter(|_| b.fire(&mut rng)).count();
+        let fired = (0..5000).filter(|_| b.fire("test-site", &mut rng)).count();
         let ratio = fired as f64 / 5000.0;
         assert!((0.17..0.23).contains(&ratio), "ratio {ratio}");
         let hashed = (0..5000).filter(|i| b.fire_hashed("cs", *i)).count();
@@ -213,6 +289,22 @@ mod tests {
         let a: Vec<bool> = (0..64).map(|s| b.fire_hashed("ci/assign", s)).collect();
         let c: Vec<bool> = (0..64).map(|s| b.fire_hashed("fed/submit", s)).collect();
         assert_ne!(a, c, "two callsites produced identical draw sequences");
+    }
+
+    #[test]
+    fn callsite_registry_is_well_formed() {
+        // Unique names, non-empty descriptions, and lookup round-trips.
+        for (i, c) in BUGGIFY_CALLSITES.iter().enumerate() {
+            assert!(!c.what.is_empty(), "{} has no description", c.name);
+            assert!(c.crate_name.starts_with("ttt_"), "{} crate", c.name);
+            assert_eq!(buggify_callsite(c.name), Some(&BUGGIFY_CALLSITES[i]));
+            assert!(
+                !BUGGIFY_CALLSITES[..i].iter().any(|p| p.name == c.name),
+                "duplicate callsite {}",
+                c.name
+            );
+        }
+        assert_eq!(buggify_callsite("no-such-site"), None);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! into a test × target grid with success-rate history, and renders the
 //! ASCII weather table of slide 19.
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod history;
 pub mod services;

@@ -3,7 +3,7 @@
 
 use crate::ctx::TestCtx;
 use crate::report::{Diagnostic, TestReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ttt_kavlan::{VlanKind, DEFAULT_VLAN};
 use ttt_kwapi::PowerSampler;
 use ttt_sim::{RpcError, SimDuration};
@@ -306,9 +306,9 @@ pub fn kwapi(site: &str, ctx: &mut TestCtx) -> TestReport {
     // Phase 1: both idle, 20 s.
     let idle_from = ctx.now;
     let idle_to = idle_from + SimDuration::from_secs(20);
-    sampler.run_site(ctx.tb, target_site, &HashMap::new(), idle_from, idle_to, ctx.kwapi, ctx.rng);
+    sampler.run_site(ctx.tb, target_site, &BTreeMap::new(), idle_from, idle_to, ctx.kwapi, ctx.rng);
     // Phase 2: load the target, 40 s.
-    let mut loads = HashMap::new();
+    let mut loads = BTreeMap::new();
     loads.insert(target, 1.0);
     let load_to = idle_to + SimDuration::from_secs(40);
     sampler.run_site(ctx.tb, target_site, &loads, idle_to, load_to, ctx.kwapi, ctx.rng);

@@ -21,6 +21,8 @@
 //! fault-signature-compatible identifiers, so the bug tracker can
 //! deduplicate and operators can repair the right thing.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod ctx;
 pub mod dispatch;

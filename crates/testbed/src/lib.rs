@@ -11,6 +11,8 @@
 //! and service calls, so this substrate exercises exactly the code paths
 //! the real framework exercises on real hardware (see DESIGN.md §2).
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod fault;
 pub mod gen;

@@ -396,7 +396,7 @@ impl Testbed {
                 return Err(CallFailure::Rpc(RpcError::Dropped));
             }
         }
-        if self.buggify.fire(rng) {
+        if self.buggify.fire("testbed-service-call", rng) {
             // Injected chaos surfaces as a transient service error so it
             // blends into flaky noise rather than fabricating a crash or
             // degraded-link signature.

@@ -13,7 +13,7 @@
 
 use crate::ids::{NodeId, PduId, SiteId, SwitchId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A switch port location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -69,11 +69,11 @@ pub struct Topology {
     /// All PDUs.
     pub pdus: Vec<Pdu>,
     /// Where each node's primary NIC is cabled.
-    pub uplink: HashMap<NodeId, PortRef>,
+    pub uplink: BTreeMap<NodeId, PortRef>,
     /// Power-monitoring wiring: `wattmeter_of[n]` is the node whose power
     /// the wattmeter *labelled* `n` actually measures. Identity when the
     /// cabling is correct; a `CablingSwap` fault swaps two entries.
-    pub wattmeter_of: HashMap<NodeId, NodeId>,
+    pub wattmeter_of: BTreeMap<NodeId, NodeId>,
     /// Inter-site backbone links (full mesh, endpoints ordered `a < b`).
     pub site_links: Vec<SiteLink>,
 }

@@ -55,7 +55,7 @@ pub fn validate(tb: &Testbed) -> Result<(), String> {
         return Err(format!("node index {idx} belongs to no cluster"));
     }
     // Topology covers every node; the wattmeter permutation is a bijection.
-    let mut measured = std::collections::HashSet::new();
+    let mut measured = std::collections::BTreeSet::new();
     for node in tb.nodes() {
         if !tb.topology().uplink.contains_key(&node.id) {
             return Err(format!("node {} has no switch port", node.name));
@@ -68,7 +68,7 @@ pub fn validate(tb: &Testbed) -> Result<(), String> {
         }
     }
     // Names are unique.
-    let mut names = std::collections::HashSet::new();
+    let mut names = std::collections::BTreeSet::new();
     for node in tb.nodes() {
         if !names.insert(node.name.as_str()) {
             return Err(format!("duplicate node name {}", node.name));
@@ -85,7 +85,7 @@ pub fn validate(tb: &Testbed) -> Result<(), String> {
             links.len()
         ));
     }
-    let mut pairs = std::collections::HashSet::new();
+    let mut pairs = std::collections::BTreeSet::new();
     for l in links {
         if l.a >= l.b {
             return Err(format!("site link {}~{} endpoints out of order", l.a, l.b));

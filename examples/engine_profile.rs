@@ -18,14 +18,17 @@ fn main() {
         _ => Engine::NextEvent,
     };
     let mut total = 0u64;
+    // detlint: allow(no-wall-clock) -- operator-facing timing, not simulation state
     let start = Instant::now();
     for _ in 0..reps {
         let mut cfg = scheduling_scenario(42, SchedulingMode::External);
         cfg.duration = SimDuration::from_days(1);
         cfg.engine = engine;
+        // detlint: allow(no-wall-clock) -- operator-facing timing, not simulation state
         let build = Instant::now();
         let mut campaign = Campaign::new(cfg);
         let built = build.elapsed();
+        // detlint: allow(no-wall-clock) -- operator-facing timing, not simulation state
         let run = Instant::now();
         campaign.run();
         println!(

@@ -21,6 +21,8 @@
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every reproduced result.
 
+#![forbid(unsafe_code)]
+
 pub use ttt_bugs as bugs;
 pub use ttt_ci as ci;
 pub use ttt_core as core;

@@ -2,7 +2,7 @@
 //! series, VLAN reachability.
 
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use throughout::kadeploy::{standard_images, DeployConfig, Deployer};
 use throughout::kavlan::{KavlanManager, VlanKind, DEFAULT_VLAN};
 use throughout::kwapi::{MetricStore, PowerSampler, RingSeries};
@@ -83,7 +83,7 @@ proptest! {
         let mut store = MetricStore::new(tb.nodes().len(), 128, SimDuration::from_mins(1));
         let mut rng = stream_rng(seed, "prop-kwapi");
         let target = tb.nodes()[0].id;
-        let mut loads = HashMap::new();
+        let mut loads = BTreeMap::new();
         loads.insert(target, load_pct as f64 / 100.0);
         PowerSampler::default().run(
             &tb,
