@@ -22,5 +22,5 @@ pub mod server;
 
 pub use matrix::{expand_axes, failed_cells, render_cell, Cell};
 pub use model::{Axis, Build, BuildResult, BuildRef, Cause, CronTrigger, JobKind, JobSpec};
-pub use rest::{BuildView, JobView};
+pub use rest::{cell_target, BuildView, JobView};
 pub use server::{CiServer, WorkItem};

@@ -9,6 +9,28 @@ use crate::server::CiServer;
 use serde::{Deserialize, Serialize};
 use ttt_sim::SimTime;
 
+/// Extract the status-page target key from a matrix cell string: the
+/// cluster or site axis value (images group under their cluster),
+/// `"global"` for cell-less builds. Shared by the status grid and the
+/// snapshot query engine so both planes bucket builds identically.
+pub fn cell_target(cell: Option<&str>) -> String {
+    let Some(cell) = cell else {
+        return "global".to_string();
+    };
+    for part in cell.split(',') {
+        if let Some(v) = part.strip_prefix("cluster=") {
+            return v.to_string();
+        }
+        if let Some(v) = part.strip_prefix("site=") {
+            return v.to_string();
+        }
+        if let Some(v) = part.strip_prefix("scope=") {
+            return v.to_string();
+        }
+    }
+    cell.to_string()
+}
+
 /// View of one build.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BuildView {

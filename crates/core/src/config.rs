@@ -173,6 +173,15 @@ pub struct CampaignConfig {
     /// loss to every control-plane service call and makes backbone
     /// partitions binding for federation spillover and co-allocation.
     pub link_model: LinkModelSpec,
+    /// Read-plane query volume in queries per simulated day (0.0 = read
+    /// plane disarmed, the default). When non-zero the campaign publishes
+    /// snapshot epochs into its [`crate::snapshot::SnapshotHub`] and
+    /// answers a bounded inline sample of this volume per epoch. Armed or
+    /// not, the campaign digest is bit-identical.
+    pub queries_per_day: f64,
+    /// Number of distinct simulated query users the daily volume is
+    /// attributed to (folds into the per-answer digest; 0 = anonymous).
+    pub query_users: u64,
 }
 
 impl CampaignConfig {
@@ -201,6 +210,8 @@ impl CampaignConfig {
             per_node_hardware: false,
             buggify_rate: 0.0,
             link_model: LinkModelSpec::Ideal,
+            queries_per_day: 0.0,
+            query_users: 0,
         }
     }
 }

@@ -18,6 +18,12 @@
 //! [`scenario::paper_scenario`] reproduces the paper's longitudinal
 //! numbers (118 bugs filed / 84 fixed, success rate 85 % → 93 %); the other
 //! constructors support the scheduling-policy and ablation experiments.
+//!
+//! The campaign is the **write plane**. Its read side — status pages,
+//! reference-API queries, metrics dashboards — is served off immutable
+//! [`snapshot::CampaignSnapshot`] epochs published into a
+//! [`snapshot::SnapshotHub`] at sample cadence, so any number of
+//! concurrent readers run without ever blocking the simulation.
 
 #![forbid(unsafe_code)]
 
@@ -27,7 +33,12 @@ pub mod matching;
 pub mod metrics;
 pub mod scenario;
 pub mod shard;
+pub mod snapshot;
 
 pub use campaign::Campaign;
 pub use config::{CampaignConfig, Engine, Rollout, SchedulingMode, TestbedScale};
 pub use metrics::CampaignMetrics;
+pub use snapshot::{
+    fold_answer, fold_snapshot, random_query, CampaignSnapshot, Query, QueryAnswer, QueryEngine,
+    QueryStats, ServiceLiveness, SiteQueueView, SnapshotHub, QUERY_SAMPLE_PER_EPOCH,
+};

@@ -36,6 +36,8 @@ pub fn paper_scenario(seed: u64) -> CampaignConfig {
         per_node_hardware: false,
         buggify_rate: 0.0,
         link_model: LinkModelSpec::Ideal,
+        queries_per_day: 0.0,
+        query_users: 0,
     }
 }
 
@@ -68,6 +70,8 @@ pub fn scheduling_scenario(seed: u64, mode: SchedulingMode) -> CampaignConfig {
         per_node_hardware: false,
         buggify_rate: 0.0,
         link_model: LinkModelSpec::Ideal,
+        queries_per_day: 0.0,
+        query_users: 0,
     }
 }
 

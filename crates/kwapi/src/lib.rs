@@ -17,5 +17,5 @@
 pub mod series;
 pub mod store;
 
-pub use series::{ConsolidatedPoint, RingSeries};
+pub use series::{ConsolidatedPoint, RingSeries, WindowAgg};
 pub use store::{MetricStore, PowerSampler};

@@ -19,6 +19,20 @@ pub struct ConsolidatedPoint {
     pub count: u32,
 }
 
+/// Aggregate statistics over one raw window — what a snapshot of the
+/// read plane captures per node instead of the samples themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowAgg {
+    /// Number of raw samples in the window.
+    pub count: u32,
+    /// Minimum raw value.
+    pub min: f64,
+    /// Mean raw value.
+    pub mean: f64,
+    /// Maximum raw value.
+    pub max: f64,
+}
+
 /// A bounded raw series plus unbounded consolidated history.
 ///
 /// Raw samples older than the ring capacity are folded into per-period
@@ -122,13 +136,37 @@ impl RingSeries {
         if self.raw.len() < 2 {
             return None;
         }
-        let (first, _) = self.raw.front().unwrap();
-        let (last, _) = self.raw.back().unwrap();
-        let span = last.since(*first).as_secs_f64();
+        let (first, _) = *self.raw.front()?;
+        let (last, _) = *self.raw.back()?;
+        let span = last.since(first).as_secs_f64();
         if span <= 0.0 {
             return None;
         }
         Some((self.raw.len() - 1) as f64 / span)
+    }
+
+    /// Aggregate raw samples in `[from, to)` without allocating, if any
+    /// fall in the window.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Option<WindowAgg> {
+        let mut count = 0u32;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &(t, v) in &self.raw {
+            if t >= from && t < to {
+                count += 1;
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(WindowAgg {
+            count,
+            min,
+            mean: sum / count as f64,
+            max,
+        })
     }
 
     /// Number of raw samples currently held.

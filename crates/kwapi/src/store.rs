@@ -1,9 +1,9 @@
 //! The metric store and the ~1 Hz power sampler.
 
-use crate::series::RingSeries;
+use crate::series::{RingSeries, WindowAgg};
 use rand::Rng;
 use std::collections::BTreeMap;
-use ttt_sim::{SimDuration, SimTime};
+use ttt_sim::{Buggify, RpcError, SimDuration, SimTime};
 use ttt_testbed::{perf, NodeId, SiteId, Testbed};
 
 /// Per-node power series, keyed by *wattmeter label* (which equals the node
@@ -11,6 +11,11 @@ use ttt_testbed::{perf, NodeId, SiteId, Testbed};
 #[derive(Debug)]
 pub struct MetricStore {
     power: Vec<RingSeries>,
+    /// Chaos hook: when armed, a window read over the REST API can be
+    /// refused. Off by default.
+    buggify: Buggify,
+    /// Monotone count of window reads — the rng-free buggify salt.
+    window_reads: u64,
 }
 
 impl MetricStore {
@@ -19,7 +24,32 @@ impl MetricStore {
     pub fn new(n: usize, capacity: usize, period: SimDuration) -> Self {
         MetricStore {
             power: (0..n).map(|_| RingSeries::new(capacity, period)).collect(),
+            buggify: Buggify::off(),
+            window_reads: 0,
         }
+    }
+
+    /// Arm (or disarm) the refused-window-read chaos hook. Rate 0 keeps
+    /// every read identical to an unarmed store.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
+    }
+
+    /// Serve one window read as the kwapi REST API would: aggregate the
+    /// raw samples of `node` in `[from, to)`. Under chaos the read is
+    /// refused instead; the decision hashes a monotone read counter, so
+    /// identical read sequences refuse identically across engines.
+    pub fn window(
+        &mut self,
+        node: NodeId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Option<WindowAgg>, RpcError> {
+        self.window_reads += 1;
+        if self.buggify.fire_hashed("kwapi-window", self.window_reads) {
+            return Err(RpcError::Refused);
+        }
+        Ok(self.power[node.index()].window(from, to))
     }
 
     /// The power series reported for (the wattmeter labelled) `node`.

@@ -254,6 +254,12 @@ impl Federation {
         &self.spillovers_in
     }
 
+    /// Waiting-queue depth per domain, in site order — the per-site view
+    /// a campaign snapshot captures for the read plane.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.domains.iter().map(|d| d.oar.waiting_count()).collect()
+    }
+
     /// Cross-site co-allocations booked so far.
     pub fn co_allocations(&self) -> u64 {
         self.co_allocations

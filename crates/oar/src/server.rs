@@ -371,6 +371,13 @@ impl OarServer {
         }
     }
 
+    /// Number of jobs currently waiting — the queue-depth view a campaign
+    /// snapshot captures. O(1): `waiting_set` holds exactly the live
+    /// waiting ids, while the deque may carry stale entries.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting_set.len()
+    }
+
     /// Jobs currently waiting (unplanned), FCFS order.
     pub fn waiting_jobs(&self) -> Vec<JobId> {
         self.waiting

@@ -7,13 +7,21 @@
 
 use crate::description::{describe, TestbedDescription};
 use serde::{Deserialize, Serialize};
-use ttt_sim::SimTime;
+use ttt_sim::{Buggify, RpcError, SimTime};
 use ttt_testbed::Testbed;
 
 /// The Reference API service: an append-only archive of descriptions.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RefApi {
     snapshots: Vec<TestbedDescription>,
+    /// Chaos hook: when armed, a describe read can be refused. Runtime
+    /// wiring, not archive content — skipped by serde (a restored archive
+    /// comes back unarmed, like every other service after a restart).
+    #[serde(skip)]
+    buggify: Buggify,
+    /// Monotone count of describe reads — the rng-free buggify salt.
+    #[serde(skip)]
+    reads: u64,
 }
 
 impl RefApi {
@@ -39,6 +47,26 @@ impl RefApi {
             assert!(d.version > last.version, "versions must increase");
         }
         self.snapshots.push(d);
+    }
+
+    /// Arm (or disarm) the refused-describe chaos hook. Rate 0 keeps every
+    /// read identical to an unarmed archive.
+    pub fn set_buggify(&mut self, buggify: Buggify) {
+        self.buggify = buggify;
+    }
+
+    /// Serve the latest description as the REST read path would. Under
+    /// chaos the call is refused and the reader keeps whatever stale
+    /// version it already holds; an empty archive refuses too (nothing is
+    /// listening before first publish). The decision hashes a monotone
+    /// read counter, so identical read sequences refuse identically
+    /// across engines.
+    pub fn describe_latest(&mut self) -> Result<&TestbedDescription, RpcError> {
+        self.reads += 1;
+        if self.buggify.fire_hashed("refapi-describe", self.reads) {
+            return Err(RpcError::Refused);
+        }
+        self.snapshots.last().ok_or(RpcError::Refused)
     }
 
     /// Latest published description, if any.

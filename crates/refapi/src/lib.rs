@@ -25,4 +25,4 @@ pub mod query;
 pub use archive::RefApi;
 pub use description::{describe, ClusterDescription, NodeDescription, SiteDescription, TestbedDescription};
 pub use diff::{diff_descriptions, DiffEntry};
-pub use query::{all_properties, node_properties, PropValue, PropertyMap};
+pub use query::{all_properties, node_properties, PropValue, PropertyMap, Query, QueryAnswer};

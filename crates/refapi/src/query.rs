@@ -137,6 +137,97 @@ pub fn all_properties(d: &TestbedDescription) -> BTreeMap<String, PropertyMap> {
     out
 }
 
+/// One typed read-plane query — the mix a multi-tenant testbed front end
+/// serves. Answers are pure functions of `(snapshot epoch, query)`: the
+/// query carries only plain data, never references into live state, so
+/// the same query against the same epoch always yields the same answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Pass ratio of one status-grid cell (job × target).
+    StatusCell {
+        /// CI job name.
+        job: String,
+        /// Grid target (site/cluster name or `global`).
+        target: String,
+    },
+    /// First/last-period success trend of one job's build history,
+    /// bucketed into periods of `period_mins` minutes.
+    JobTrend {
+        /// CI job name.
+        job: String,
+        /// Bucket width, minutes (must be positive).
+        period_mins: u64,
+    },
+    /// Names of described nodes whose property `key` matches `value` the
+    /// OAR way (booleans as `YES`/`NO`, integers as decimal).
+    NodeFilter {
+        /// Property key, e.g. `cluster` or `gpu`.
+        key: String,
+        /// Literal to match against.
+        value: String,
+    },
+    /// Aggregate power stats of one node's window in the snapshot.
+    MetricsWindow {
+        /// Node id (wattmeter label).
+        node: u32,
+    },
+    /// Waiting-queue depth and spillover count of one site's OAR server.
+    QueueDepth {
+        /// Site name.
+        site: String,
+    },
+    /// Service liveness census: how many processes are up vs down.
+    ServiceCensus,
+}
+
+/// The answer to a [`Query`], as plain data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryAnswer {
+    /// Status cell: passing and total finished runs in the cell.
+    Ratio {
+        /// Builds that passed.
+        pass: u64,
+        /// Finished builds in the cell.
+        total: u64,
+    },
+    /// Job trend: mean success of the first and last period.
+    Trend {
+        /// First period's success ratio.
+        first: f64,
+        /// Last period's success ratio.
+        last: f64,
+    },
+    /// Node filter: matching node names, sorted.
+    Nodes(Vec<String>),
+    /// Metrics window stats for the node.
+    Window {
+        /// Samples in the window.
+        count: u32,
+        /// Minimum watts.
+        min: f64,
+        /// Mean watts.
+        mean: f64,
+        /// Maximum watts.
+        max: f64,
+    },
+    /// Queue depth: waiting jobs and spillovers at the site.
+    Depth {
+        /// Jobs waiting in the site's queue.
+        waiting: u64,
+        /// Jobs this site spilled to other sites.
+        spillovers: u64,
+    },
+    /// Service census.
+    Census {
+        /// Processes up.
+        up: u64,
+        /// Processes down (crashed or restarting).
+        down: u64,
+    },
+    /// The query addressed something absent from this epoch.
+    NotFound,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

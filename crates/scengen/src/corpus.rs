@@ -23,7 +23,9 @@ use std::collections::BTreeSet;
 ///
 /// v2: specs carry `link_model`, and the signature's site axis widened
 /// from u8 to u16 (both migrate losslessly from v1).
-pub const CORPUS_VERSION: u32 = 2;
+/// v3: specs carry `queries_per_day`/`query_users` (the read plane;
+/// migrates losslessly from v1/v2 — older specs ran with it disarmed).
+pub const CORPUS_VERSION: u32 = 3;
 
 /// One coverage-novel scenario: the first spec observed to produce its
 /// signature.
@@ -203,9 +205,16 @@ mod tests {
         let (mut expected_spec, sig) = entry_for(4);
         expected_spec.buggify_rate = 0.0;
         expected_spec.link_model = ttt_testbed::LinkModelSpec::Ideal;
+        expected_spec.queries_per_day = 0.0;
+        expected_spec.query_users = 0;
         let mut spec_value = expected_spec.to_value();
         if let serde::Value::Object(fields) = &mut spec_value {
-            fields.retain(|(k, _)| k != "link_model" && k != "buggify_rate");
+            fields.retain(|(k, _)| {
+                k != "link_model"
+                    && k != "buggify_rate"
+                    && k != "queries_per_day"
+                    && k != "query_users"
+            });
         }
         let entry = serde::Value::Object(vec![
             ("spec".to_string(), spec_value),
@@ -217,6 +226,32 @@ mod tests {
         ]))
         .unwrap();
         let corpus = Corpus::from_json(&v1).expect("v1 corpus must load");
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.entry(0).spec, expected_spec);
+        assert_eq!(corpus.entry(0).signature, sig);
+    }
+
+    /// A v2 corpus predates only the query-plane fields; it must migrate
+    /// to the disarmed read plane it actually ran with.
+    #[test]
+    fn v2_corpus_still_loads_with_migrated_specs() {
+        let (mut expected_spec, sig) = entry_for(5);
+        expected_spec.queries_per_day = 0.0;
+        expected_spec.query_users = 0;
+        let mut spec_value = expected_spec.to_value();
+        if let serde::Value::Object(fields) = &mut spec_value {
+            fields.retain(|(k, _)| k != "queries_per_day" && k != "query_users");
+        }
+        let entry = serde::Value::Object(vec![
+            ("spec".to_string(), spec_value),
+            ("signature".to_string(), sig.to_value()),
+        ]);
+        let v2 = serde_json::to_string(&serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::U64(2)),
+            ("entries".to_string(), serde::Value::Array(vec![entry])),
+        ]))
+        .unwrap();
+        let corpus = Corpus::from_json(&v2).expect("v2 corpus must load");
         assert_eq!(corpus.len(), 1);
         assert_eq!(corpus.entry(0).spec, expected_spec);
         assert_eq!(corpus.entry(0).signature, sig);

@@ -121,6 +121,12 @@ pub struct ScenarioSpec {
     /// Bare-seed expansion always leaves this ideal; the `WarpLinkModel`
     /// mutator and hand-written scenario files select the others.
     pub link_model: LinkModelSpec,
+    /// Read-plane query volume, queries per simulated day (0.0 = the read
+    /// plane stays disarmed). Bare-seed expansion always leaves this off;
+    /// the `ToggleQueries` mutator and scenario files arm it.
+    pub queries_per_day: f64,
+    /// Distinct simulated query users behind that volume.
+    pub query_users: u64,
 }
 
 impl ScenarioSpec {
@@ -222,6 +228,10 @@ impl ScenarioSpec {
             // Same no-draw rule: bare seeds keep the historical ideal
             // backbone so every pre-link-model seed expands byte-for-byte.
             link_model: LinkModelSpec::Ideal,
+            // Same no-draw rule again: the read plane stays disarmed on
+            // bare seeds so pre-query-plane seeds expand byte-for-byte.
+            queries_per_day: 0.0,
+            query_users: 0,
         }
     }
 
@@ -321,6 +331,8 @@ impl ScenarioSpec {
             per_node_hardware: self.per_node_hardware,
             buggify_rate: self.buggify_rate,
             link_model: self.link_model,
+            queries_per_day: self.queries_per_day,
+            query_users: self.query_users,
         }
     }
 }
@@ -341,6 +353,13 @@ pub(crate) fn ensure_spec_defaults(spec: &mut serde::Value) {
                 "link_model".to_string(),
                 serde::Value::String("Ideal".to_string()),
             ));
+        }
+        // Specs dumped before the read plane existed ran without it.
+        if !fields.iter().any(|(k, _)| k == "queries_per_day") {
+            fields.push(("queries_per_day".to_string(), serde::Value::F64(0.0)));
+        }
+        if !fields.iter().any(|(k, _)| k == "query_users") {
+            fields.push(("query_users".to_string(), serde::Value::U64(0)));
         }
     }
 }

@@ -73,12 +73,14 @@ pub enum Mutator {
     ToggleBuggify,
     /// Cycle the backbone link model (Ideal → Uniform → DistanceTiered).
     WarpLinkModel,
+    /// Arm or disarm the read plane's multi-tenant query workload.
+    ToggleQueries,
 }
 
 impl Mutator {
     /// Every move, in a stable order (new moves append — the fuzzer's
     /// move draws index into this array).
-    pub const ALL: [Mutator; 17] = [
+    pub const ALL: [Mutator; 18] = [
         Mutator::SpliceFaultMix,
         Mutator::ToggleFaultKind,
         Mutator::WarpFaultRate,
@@ -96,6 +98,7 @@ impl Mutator {
         Mutator::Reseed,
         Mutator::ToggleBuggify,
         Mutator::WarpLinkModel,
+        Mutator::ToggleQueries,
     ];
 }
 
@@ -241,6 +244,16 @@ fn apply<R: Rng>(m: Mutator, spec: &mut ScenarioSpec, donor: &ScenarioSpec, rng:
                 LinkModelSpec::Uniform { .. } => LinkModelSpec::DistanceTiered,
                 LinkModelSpec::DistanceTiered => LinkModelSpec::Ideal,
             };
+        }
+        Mutator::ToggleQueries => {
+            if spec.queries_per_day > 0.0 {
+                spec.queries_per_day = 0.0;
+                spec.query_users = 0;
+            } else {
+                spec.queries_per_day =
+                    [250_000.0, 1_000_000.0, 2_000_000.0][rng.gen_range(0..3usize)];
+                spec.query_users = [10_000u64, 100_000, 1_000_000][rng.gen_range(0..3usize)];
+            }
         }
     }
 }
@@ -409,6 +422,8 @@ pub fn sanitize(spec: &mut ScenarioSpec) {
         *phases = (*phases).clamp(1, Family::ALL.len());
     }
     spec.buggify_rate = spec.buggify_rate.clamp(0.0, 0.25);
+    spec.queries_per_day = spec.queries_per_day.clamp(0.0, 10_000_000.0);
+    spec.query_users = spec.query_users.min(10_000_000);
     if let LinkModelSpec::Uniform {
         latency_s,
         loss_prob,

@@ -198,7 +198,20 @@ impl CampaignDigest {
                 m.oar_utilization.mean().to_bits(),
             ),
             active_faults: c.testbed().active_faults().len(),
-            grid_rows: c.status_grid().jobs.clone(),
+            grid_rows: {
+                // Sorted job names with ≥1 finished build — value-identical
+                // to the status grid's row labels, without pulling the
+                // render plane into the oracle.
+                let mut rows: Vec<String> = c
+                    .ci_views()
+                    .iter()
+                    .filter(|v| v.builds.iter().any(|b| b.result.is_some()))
+                    .map(|v| v.name.clone())
+                    .collect();
+                rows.sort();
+                rows.dedup();
+                rows
+            },
             per_site_jobs: c
                 .federation()
                 .domains()

@@ -39,6 +39,8 @@ const MAX_TOTAL_NODES: u64 = 48;
 const MAX_TICKS: u64 = 1440;
 const MAX_DURATION_HOURS: u64 = 240;
 const MAX_PEAK_JOBS: f64 = 300.0;
+const MAX_QUERIES_PER_DAY: f64 = 10_000_000.0;
+const MAX_QUERY_USERS: u64 = 10_000_000;
 
 /// One validation problem: where in the file, and what is wrong. The
 /// validator collects every issue before returning, so an operator fixes
@@ -265,6 +267,7 @@ pub fn parse_scenario(json: &str) -> Result<ScenarioSpec, Vec<ScenarioFileError>
             "sampling",
             "network",
             "chaos",
+            "queries",
             "per_node_hardware",
         ],
     );
@@ -458,6 +461,20 @@ pub fn parse_scenario(json: &str) -> Result<ScenarioSpec, Vec<ScenarioFileError>
     let buggify_rate = f64_field(&mut ctx, chaos, "chaos", "buggify_rate", 0.0);
     check_f64_range(&mut ctx, "chaos.buggify_rate".into(), buggify_rate, 0.0, 0.25);
 
+    // --- queries -----------------------------------------------------
+    let queries = section(&mut ctx, doc, "", "queries");
+    check_keys(&mut ctx, queries, "queries", &["per_day", "users"]);
+    let queries_per_day = f64_field(&mut ctx, queries, "queries", "per_day", 0.0);
+    check_f64_range(
+        &mut ctx,
+        "queries.per_day".into(),
+        queries_per_day,
+        0.0,
+        MAX_QUERIES_PER_DAY,
+    );
+    let query_users = u64_field(&mut ctx, queries, "queries", "users", 0);
+    check_u64_range(&mut ctx, "queries.users".into(), query_users, 0, MAX_QUERY_USERS);
+
     let per_node_hardware = bool_field(&mut ctx, doc, "", "per_node_hardware", false);
 
     if !ctx.errors.is_empty() {
@@ -485,6 +502,8 @@ pub fn parse_scenario(json: &str) -> Result<ScenarioSpec, Vec<ScenarioFileError>
         sample_cadence_hours,
         buggify_rate,
         link_model,
+        queries_per_day,
+        query_users,
     })
 }
 
@@ -714,6 +733,13 @@ pub fn to_scenario_value(spec: &ScenarioSpec) -> Value {
         (
             "chaos".into(),
             Value::Object(vec![("buggify_rate".into(), Value::F64(spec.buggify_rate))]),
+        ),
+        (
+            "queries".into(),
+            Value::Object(vec![
+                ("per_day".into(), Value::F64(spec.queries_per_day)),
+                ("users".into(), Value::U64(spec.query_users)),
+            ]),
         ),
         ("per_node_hardware".into(), Value::Bool(spec.per_node_hardware)),
     ])

@@ -25,7 +25,8 @@ use std::fmt;
 ///
 /// v2: `buggify_rate` joined the spec (killable service processes).
 /// v3: `link_model` joined the spec (pluggable backbone link models).
-pub const DUMP_VERSION: u32 = 3;
+/// v4: `queries_per_day`/`query_users` joined the spec (the read plane).
+pub const DUMP_VERSION: u32 = 4;
 
 /// The serialized envelope of a reproducer dump.
 #[derive(Serialize, Deserialize)]
@@ -230,12 +231,18 @@ fn shrink_pass(best: &mut ScenarioSpec, violation: &mut Violation, oracles: &Ora
     //    including collapsing the topology onto one site, which strips the
     //    whole multi-site dimension (federated placement, spillover,
     //    inter-site faults) when it is not what broke.
-    let reductions: [fn(&mut ScenarioSpec); 5] = [
+    let reductions: [fn(&mut ScenarioSpec); 6] = [
         |s| s.maintenance_per_day = 0.0,
         |s| s.initial_fault_burden = 0,
         |s| s.peak_jobs_per_day = 0.0,
         // Disarm buggify: call-level chaos is noise unless it is the bug.
         |s| s.buggify_rate = 0.0,
+        // Disarm the read plane: query traffic is digest-neutral by
+        // design, so it is almost always shrinkable noise.
+        |s| {
+            s.queries_per_day = 0.0;
+            s.query_users = 0;
+        },
         |s| {
             for c in &mut s.clusters {
                 c.site = crate::grammar::site_name(0);
@@ -408,27 +415,44 @@ mod tests {
         .unwrap()
     }
 
-    /// The satellite bugfix pinned: bumping [`DUMP_VERSION`] for the
-    /// appended `link_model` field must not orphan the trophies already on
-    /// disk. v1 dumps (no `buggify_rate`, no `link_model`) and v2 dumps
-    /// (no `link_model`) migrate to the implicit defaults they ran with.
+    /// The satellite bugfix pinned: bumping [`DUMP_VERSION`] for appended
+    /// fields must not orphan the trophies already on disk. v1 dumps (no
+    /// `buggify_rate`, no `link_model`), v2 dumps (no `link_model`) and
+    /// v3 dumps (no query-plane fields) migrate to the implicit defaults
+    /// they ran with.
     #[test]
     fn older_dump_versions_migrate_to_their_implicit_defaults() {
+        const QUERY_FIELDS: [&str; 2] = ["queries_per_day", "query_users"];
         let mut expected = ScenarioSpec::from_seed(12);
         expected.buggify_rate = 0.0;
         expected.link_model = ttt_testbed::LinkModelSpec::Ideal;
+        expected.queries_per_day = 0.0;
+        expected.query_users = 0;
 
-        let v2 = downgraded_dump(&expected, 2, &["link_model"]);
+        let v3 = downgraded_dump(&expected, 3, &QUERY_FIELDS);
+        assert_eq!(parse_dump(&v3).unwrap(), expected, "v3 dump must migrate");
+
+        let v2 = downgraded_dump(
+            &expected,
+            2,
+            &["link_model", QUERY_FIELDS[0], QUERY_FIELDS[1]],
+        );
         assert_eq!(parse_dump(&v2).unwrap(), expected, "v2 dump must migrate");
 
-        let v1 = downgraded_dump(&expected, 1, &["link_model", "buggify_rate"]);
+        let v1 = downgraded_dump(
+            &expected,
+            1,
+            &["link_model", "buggify_rate", QUERY_FIELDS[0], QUERY_FIELDS[1]],
+        );
         assert_eq!(parse_dump(&v1).unwrap(), expected, "v1 dump must migrate");
 
-        // Pre-tagging bare dumps predate both fields too.
+        // Pre-tagging bare dumps predate every appended field.
         let bare = {
             let mut value = expected.to_value();
             if let serde::Value::Object(fields) = &mut value {
-                fields.retain(|(k, _)| k != "link_model" && k != "buggify_rate");
+                fields.retain(|(k, _)| {
+                    k != "link_model" && k != "buggify_rate" && !QUERY_FIELDS.contains(&k.as_str())
+                });
             }
             serde_json::to_string(&value).unwrap()
         };

@@ -106,6 +106,16 @@ pub const BUGGIFY_CALLSITES: &[BuggifyCallsite] = &[
         crate_name: "ttt_oar",
         what: "a user's submission RPC is dropped on the wire; the arrival is counted as rejected",
     },
+    BuggifyCallsite {
+        name: "refapi-describe",
+        crate_name: "ttt_refapi",
+        what: "a reference-API describe read is refused; the reader keeps its stale description",
+    },
+    BuggifyCallsite {
+        name: "kwapi-window",
+        crate_name: "ttt_kwapi",
+        what: "a metrics window read is refused; the snapshot omits that node's window row",
+    },
 ];
 
 /// Look up a registered callsite by name.

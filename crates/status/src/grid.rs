@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use ttt_ci::{BuildResult, JobView};
+use ttt_core::snapshot::CampaignSnapshot;
 use ttt_sim::{PeriodSeries, SimDuration};
 
 /// Aggregated status of one (test, target) cell.
@@ -38,25 +39,11 @@ impl CellStatus {
     }
 }
 
-/// Extract the grid's target key from a matrix cell string: the cluster or
-/// site axis value (images group under their cluster), `"global"` for
-/// cell-less builds.
+/// Extract the grid's target key from a matrix cell string — delegates to
+/// [`ttt_ci::cell_target`], the one shared bucketing rule for both the
+/// render plane and the snapshot query engine.
 fn target_of(cell: Option<&str>) -> String {
-    let Some(cell) = cell else {
-        return "global".to_string();
-    };
-    for part in cell.split(',') {
-        if let Some(v) = part.strip_prefix("cluster=") {
-            return v.to_string();
-        }
-        if let Some(v) = part.strip_prefix("site=") {
-            return v.to_string();
-        }
-        if let Some(v) = part.strip_prefix("scope=") {
-            return v.to_string();
-        }
-    }
-    cell.to_string()
+    ttt_ci::cell_target(cell)
 }
 
 /// The status grid: tests on rows, targets (clusters/sites) on columns.
@@ -99,6 +86,15 @@ impl StatusGrid {
             targets,
             cells,
         }
+    }
+
+    /// Build the grid from a published read-plane epoch. Borrows the
+    /// snapshot's views in place — no per-render clone of the job
+    /// histories — and agrees bit-for-bit with
+    /// `ttt_core::snapshot::QueryEngine` status-cell answers against the
+    /// same epoch (both share [`ttt_ci::cell_target`]).
+    pub fn from_snapshot(snap: &CampaignSnapshot) -> StatusGrid {
+        Self::from_views(&snap.jobs)
     }
 
     /// Status of one cell.

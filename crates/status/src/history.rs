@@ -8,6 +8,7 @@ use crate::grid::StatusGrid;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use ttt_ci::JobView;
+use ttt_core::snapshot::CampaignSnapshot;
 use ttt_sim::{PeriodSeries, SimDuration};
 
 /// Per-job success-rate history.
@@ -36,6 +37,14 @@ impl HistoryReport {
             }
         }
         HistoryReport { period, per_job }
+    }
+
+    /// Build per-job histories from a published read-plane epoch,
+    /// borrowing its views in place. Bit-identical with
+    /// `ttt_core::snapshot::QueryEngine` job-trend answers against the
+    /// same epoch (both bucket through [`ttt_sim::PeriodSeries`]).
+    pub fn from_snapshot(snap: &CampaignSnapshot, period: SimDuration) -> Self {
+        Self::from_views(&snap.jobs, period)
     }
 
     /// Trend of one job: latest-period success minus first-period success
@@ -100,7 +109,7 @@ pub fn worst_targets(grid: &StatusGrid, n: usize, min_builds: u64) -> Vec<(Strin
         .filter(|(_, (total, _))| *total >= min_builds)
         .map(|(t, (total, ok))| (t.clone(), ok as f64 / total as f64))
         .collect();
-    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    v.sort_by(|a, b| a.1.total_cmp(&b.1));
     v.truncate(n);
     v
 }

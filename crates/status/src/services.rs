@@ -7,6 +7,7 @@
 //! while the power-outage case never reaches this table at all (the grid's
 //! `oarstate` row already carries it).
 
+use ttt_core::snapshot::CampaignSnapshot;
 use ttt_sim::rpc::Liveness;
 use ttt_testbed::{ProcessRegistry, Testbed};
 
@@ -48,6 +49,29 @@ impl ServicesPanel {
                 .map(|s| s.name.clone())
                 .unwrap_or_else(|| format!("site-{idx}"))
         })
+    }
+
+    /// Build the panel from a published read-plane epoch. The snapshot's
+    /// `ServiceLiveness` rows mirror `ServiceRow` field-for-field (same
+    /// rendering, captured by `rows_from_testbed`), so this is a plain
+    /// borrow-and-map — no registry walk, no testbed access.
+    pub fn from_snapshot(snap: &CampaignSnapshot) -> ServicesPanel {
+        ServicesPanel {
+            rows: snap
+                .services
+                .iter()
+                .map(|r| ServiceRow {
+                    service: r.service.clone(),
+                    site: r.site.clone(),
+                    host: r.host,
+                    state: r.state.clone(),
+                    up: r.up,
+                    crashes: r.crashes,
+                    restarts: r.restarts,
+                    dropped_calls: r.dropped_calls,
+                })
+                .collect(),
+        }
     }
 
     /// Build the panel from a registry alone, with a site-naming function.

@@ -9,7 +9,7 @@
 use throughout::core::scenario::scheduling_scenario;
 use throughout::core::{Campaign, SchedulingMode};
 use throughout::sim::{SimDuration, SimTime};
-use throughout::status::success_series;
+use throughout::status::{success_series, ServicesPanel, StatusGrid};
 
 fn main() {
     let seed = std::env::args()
@@ -19,10 +19,14 @@ fn main() {
     let mut cfg = scheduling_scenario(seed, SchedulingMode::External);
     cfg.duration = SimDuration::from_days(10);
     let mut campaign = Campaign::new(cfg);
+    // The status page is a read-plane consumer: it renders from the last
+    // published snapshot epoch, never from the live campaign state.
+    let hub = campaign.arm_snapshots();
     println!("running 10 days of testing (seed {seed})...\n");
     campaign.run_until(SimTime::from_days(10));
 
-    let grid = campaign.status_grid();
+    let snap = hub.latest().expect("campaign published snapshots");
+    let grid = StatusGrid::from_snapshot(&snap);
     println!("== weather grid (tests × targets), slide 19 ==\n");
     println!("{}", grid.render());
 
@@ -43,11 +47,11 @@ fn main() {
     }
 
     println!("\n== historical perspective (slide 18 requirement 3) ==");
-    let series = success_series(&campaign.ci_views(), SimDuration::from_days(1));
+    let series = success_series(&snap.jobs, SimDuration::from_days(1));
     for (day, mean) in series.means() {
         println!("  day {:>2}: {:>5.1}%", day + 1, mean * 100.0);
     }
 
     println!("\n== service processes (daemon liveness + chaos ledger) ==");
-    println!("{}", campaign.services_panel().render());
+    println!("{}", ServicesPanel::from_snapshot(&snap).render());
 }

@@ -167,6 +167,40 @@ fn service_chaos_identical_across_engines() {
     }
 }
 
+/// The read plane rides the same determinism contract: with the query
+/// workload armed, all three engines must publish the identical snapshot
+/// sequence (captured as a running fold over every published epoch) and
+/// execute the identical query mix (same issued/executed counts, same
+/// answer fold) — snapshots are taken at the sample-cadence instants,
+/// which all engines hit exactly.
+#[test]
+fn armed_query_plane_identical_across_engines() {
+    for seed in [7, 42] {
+        let mut cfg = CampaignConfig::small(seed);
+        cfg.queries_per_day = 50_000.0;
+        cfg.query_users = 100_000;
+        let mut folds = Vec::new();
+        for engine in [Engine::NextEvent, Engine::Lockstep, Engine::ParallelSite] {
+            let mut c = cfg.clone();
+            c.engine = engine;
+            let mut campaign = Campaign::new(c);
+            campaign.run();
+            let hub = campaign
+                .snapshot_hub()
+                .expect("armed campaign has a snapshot hub");
+            folds.push((
+                campaign.snapshot_fold(),
+                campaign.query_stats(),
+                hub.published(),
+            ));
+        }
+        assert!(folds[0].2 > 0, "seed {seed}: no snapshots published");
+        assert!(folds[0].1.executed > 0, "seed {seed}: no queries executed");
+        assert_eq!(folds[0], folds[1], "seed {seed}: Lockstep read plane diverged");
+        assert_eq!(folds[0], folds[2], "seed {seed}: ParallelSite read plane diverged");
+    }
+}
+
 #[test]
 fn digest_diff_names_the_diverging_fields() {
     let a = run(CampaignConfig::small(7), Engine::NextEvent);

@@ -3,7 +3,7 @@
 
 use throughout::core::{Campaign, CampaignConfig, SchedulingMode};
 use throughout::sim::{SimDuration, SimTime};
-use throughout::status::success_series;
+use throughout::status::{success_series, StatusGrid};
 
 #[test]
 fn campaign_preserves_testbed_invariants() {
@@ -32,8 +32,12 @@ fn ci_history_agrees_with_campaign_metrics() {
 #[test]
 fn status_grid_matches_success_ratio() {
     let mut c = Campaign::new(CampaignConfig::small(102));
+    let hub = c.arm_snapshots();
     c.run();
-    let grid = c.status_grid();
+    // The grid is a read-plane consumer now: render from the final
+    // published epoch, which samples exactly at the campaign's end.
+    let snap = hub.latest().expect("armed campaign publishes snapshots");
+    let grid = StatusGrid::from_snapshot(&snap);
     let m = c.metrics();
     // The grid counts unstable builds too; both ratios must land in the
     // same ballpark and the grid can never exceed the test-only ratio.

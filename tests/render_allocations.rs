@@ -1,0 +1,91 @@
+//! Allocation regression guard for the render plane.
+//!
+//! `StatusGrid::from_snapshot` / `ServicesPanel::from_snapshot` borrow the
+//! published epoch's views in place — the fix for the old per-render
+//! pattern of rebuilding every view vector from the live campaign on each
+//! refresh. This test pins that property with a counting allocator: the
+//! borrowed path must allocate strictly less than a clone-first render of
+//! the same epoch. If someone reintroduces a deep copy of the job
+//! histories inside `from_snapshot`, the two counts converge and the
+//! assertion trips.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one test: parallel tests would pollute each other's counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use throughout::core::{Campaign, CampaignConfig};
+use throughout::sim::SimTime;
+use throughout::status::{ServicesPanel, StatusGrid};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn snapshot_renders_do_not_clone_the_views() {
+    let mut cfg = CampaignConfig::small(2017);
+    cfg.queries_per_day = 1_000.0;
+    cfg.query_users = 10;
+    let mut c = Campaign::new(cfg);
+    let hub = c.snapshot_hub().expect("armed config builds a hub");
+    c.run_until(SimTime::from_days(5));
+    let snap = hub.latest().expect("epochs published");
+    assert!(!snap.jobs.is_empty(), "need job histories to make the point");
+
+    // Borrowed path: build the grid straight off the held epoch.
+    let (grid, borrowed) = allocations_during(|| StatusGrid::from_snapshot(&snap));
+    // Clone-first path: what the old per-render pattern did — materialize
+    // a fresh view vector, then build the same grid from it.
+    let (cloned_grid, clone_first) = allocations_during(|| {
+        let views = snap.jobs.clone();
+        StatusGrid::from_views(&views)
+    });
+    assert_eq!(grid, cloned_grid, "both paths must render the same grid");
+    assert!(
+        borrowed < clone_first,
+        "from_snapshot allocated {borrowed} >= clone-first {clone_first}: \
+         a per-render view copy crept back in"
+    );
+
+    // Same property for the services panel.
+    let (panel, borrowed) = allocations_during(|| ServicesPanel::from_snapshot(&snap));
+    let (cloned_panel, clone_first) = allocations_during(|| {
+        let services = snap.services.clone();
+        let snap2 = throughout::core::snapshot::CampaignSnapshot {
+            services,
+            ..(*snap).clone()
+        };
+        ServicesPanel::from_snapshot(&snap2)
+    });
+    assert_eq!(panel.render(), cloned_panel.render());
+    assert!(
+        borrowed < clone_first,
+        "ServicesPanel::from_snapshot allocated {borrowed} >= clone-first {clone_first}"
+    );
+}
